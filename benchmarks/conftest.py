@@ -1,0 +1,42 @@
+"""Shared machinery for the figure-regeneration bench targets.
+
+Each bench target runs one experiment from ``repro.bench`` exactly once
+under pytest-benchmark (``pedantic``: the experiment itself already
+aggregates seeds the way the paper aggregated runs), prints the
+paper-style table, and asserts the DESIGN.md shape checks.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the sweep grids (smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Durable copies of every experiment report (pytest captures stdout,
+#: so the paper-style tables are also written here).
+REPORTS_DIR = pathlib.Path(__file__).resolve().parent / "reports"
+
+#: Quick mode trims sweep grids; full grids are the default, matching
+#: the paper's parameter ranges.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def run_experiment(benchmark, experiment, quick: bool | None = None):
+    """Run one experiment under the benchmark fixture and verify it."""
+    effective_quick = QUICK if quick is None else quick
+    result = benchmark.pedantic(
+        experiment, args=(effective_quick,), rounds=1, iterations=1
+    )
+    report = result.report()
+    print()
+    print(report)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    slug = result.figure.lower().replace(" ", "_").replace(":", "")
+    mode = "quick" if effective_quick else "full"
+    (REPORTS_DIR / f"{slug}.{mode}.txt").write_text(report + "\n")
+    failed = [str(c) for c in result.checks if not c.passed]
+    assert not failed, "shape checks failed:\n" + "\n".join(failed)
+    return result

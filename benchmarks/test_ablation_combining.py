@@ -1,0 +1,12 @@
+"""Ablation: the message-combining memory cost (DESIGN.md §5.3)."""
+
+from __future__ import annotations
+
+from repro.bench import ablations
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_combining(benchmark):
+    """Zeroing the combine cost rescues Br_Lin on the T3D (§5.3)."""
+    run_experiment(benchmark, ablations.ablation_combining)

@@ -1,0 +1,12 @@
+"""Ablation: the path-reservation contention model (DESIGN.md §5.1)."""
+
+from __future__ import annotations
+
+from repro.bench import ablations
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_contention(benchmark):
+    """Congestion of the §2 uncoordinated flood needs link contention."""
+    run_experiment(benchmark, ablations.ablation_contention)

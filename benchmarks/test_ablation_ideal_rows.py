@@ -1,0 +1,12 @@
+"""Ablation: dimension-aware ideal row placement (DESIGN.md §5.4)."""
+
+from __future__ import annotations
+
+from repro.bench import ablations
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_ideal_rows(benchmark):
+    """Searched row positions beat naive even spacing (the R(20) case)."""
+    run_experiment(benchmark, ablations.ablation_ideal_rows)

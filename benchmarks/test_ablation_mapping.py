@@ -1,0 +1,12 @@
+"""Ablation: T3D random virtual-to-physical mapping (DESIGN.md §5.2)."""
+
+from __future__ import annotations
+
+from repro.bench import ablations
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_mapping(benchmark):
+    """Random placement removes Br_Lin's topology advantage."""
+    run_experiment(benchmark, ablations.ablation_mapping)

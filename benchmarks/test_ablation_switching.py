@@ -1,0 +1,12 @@
+"""Ablation: wormhole vs store-and-forward switching (DESIGN.md §5)."""
+
+from __future__ import annotations
+
+from repro.bench import ablations
+
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_switching(benchmark):
+    """Store-and-forward makes distance expensive; 2-Step pays most."""
+    run_experiment(benchmark, ablations.ablation_switching)

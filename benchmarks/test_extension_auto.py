@@ -1,0 +1,12 @@
+"""Extension: Auto_Predict portfolio selection across a mixed workload."""
+
+from __future__ import annotations
+
+from repro.bench import extensions
+
+from benchmarks.conftest import run_experiment
+
+
+def test_extension_auto(benchmark):
+    """The model-driven pick beats any single fixed algorithm in total."""
+    run_experiment(benchmark, extensions.extension_auto_portfolio)

@@ -1,0 +1,12 @@
+"""Extension: the paper's algorithms on a hypercube."""
+
+from __future__ import annotations
+
+from repro.bench import extensions
+
+from benchmarks.conftest import run_experiment
+
+
+def test_extension_hypercube(benchmark):
+    """Br_Lin dominates on its native topology; 2-Step's hot spot stays."""
+    run_experiment(benchmark, extensions.extension_hypercube)

@@ -1,0 +1,12 @@
+"""Extension: the Br_Ring / Br_Lin crossover study."""
+
+from __future__ import annotations
+
+from repro.bench import extensions
+
+from benchmarks.conftest import run_experiment
+
+
+def test_extension_ring(benchmark):
+    """The ring wins only in the bandwidth-bound regime."""
+    run_experiment(benchmark, extensions.extension_ring_crossover)

@@ -1,0 +1,12 @@
+"""Figure 1: the three §4 placements rendered and checked."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig01(benchmark):
+    """Figure 1: the three §4 placements rendered and checked."""
+    run_experiment(benchmark, figures.fig01)

@@ -1,0 +1,12 @@
+"""Figure 2: measured vs analytic algorithm/distribution parameters."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig02(benchmark):
+    """Figure 2: measured vs analytic algorithm/distribution parameters."""
+    run_experiment(benchmark, figures.fig02)

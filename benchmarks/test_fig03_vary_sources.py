@@ -1,0 +1,12 @@
+"""Figure 3: Paragon, all algorithms, source count sweep."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig03(benchmark):
+    """Figure 3: Paragon, all algorithms, source count sweep."""
+    run_experiment(benchmark, figures.fig03)

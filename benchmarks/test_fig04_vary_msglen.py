@@ -1,0 +1,12 @@
+"""Figure 4: Paragon, all algorithms, message size sweep."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig04(benchmark):
+    """Figure 4: Paragon, all algorithms, message size sweep."""
+    run_experiment(benchmark, figures.fig04)

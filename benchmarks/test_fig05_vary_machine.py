@@ -1,0 +1,12 @@
+"""Figure 5: Paragon, machine size sweep."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig05(benchmark):
+    """Figure 5: Paragon, machine size sweep."""
+    run_experiment(benchmark, figures.fig05)

@@ -1,0 +1,12 @@
+"""Figure 6: Paragon, Br_* across the eight distributions."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig06(benchmark):
+    """Figure 6: Paragon, Br_* across the eight distributions."""
+    run_experiment(benchmark, figures.fig06)

@@ -1,0 +1,12 @@
+"""Figure 7: Paragon, fixed total spread over more sources."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig07(benchmark):
+    """Figure 7: Paragon, fixed total spread over more sources."""
+    run_experiment(benchmark, figures.fig07)

@@ -1,0 +1,12 @@
+"""Figure 8: 120-node Paragon, dimension sweep."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig08(benchmark):
+    """Figure 8: 120-node Paragon, dimension sweep."""
+    run_experiment(benchmark, figures.fig08)

@@ -1,0 +1,12 @@
+"""Figure 9: repositioning gain vs source count."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig09(benchmark):
+    """Figure 9: repositioning gain vs source count."""
+    run_experiment(benchmark, figures.fig09)

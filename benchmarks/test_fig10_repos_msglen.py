@@ -1,0 +1,12 @@
+"""Figure 10: repositioning gain vs message length."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10(benchmark):
+    """Figure 10: repositioning gain vs message length."""
+    run_experiment(benchmark, figures.fig10)

@@ -1,0 +1,12 @@
+"""Figure 11: T3D MPI_AllGather scalability."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11(benchmark):
+    """Figure 11: T3D MPI_AllGather scalability."""
+    run_experiment(benchmark, figures.fig11)

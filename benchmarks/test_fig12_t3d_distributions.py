@@ -1,0 +1,12 @@
+"""Figure 12: T3D fixed-total source sweep."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12(benchmark):
+    """Figure 12: T3D fixed-total source sweep."""
+    run_experiment(benchmark, figures.fig12)

@@ -1,0 +1,12 @@
+"""Figure 13: T3D algorithm ordering inversion."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13(benchmark):
+    """Figure 13: T3D algorithm ordering inversion."""
+    run_experiment(benchmark, figures.fig13)

@@ -1,0 +1,12 @@
+"""§5.2 (text): repositioning cost is small inside the recommended regime."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_sec52_conditions(benchmark):
+    """Repositioning a near-ideal input costs only a small overhead."""
+    run_experiment(benchmark, figures.sec52_conditions)

@@ -1,0 +1,12 @@
+"""§5.2 (text): partitioning hardly ever beats repositioning alone."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_sec52_partitioning(benchmark):
+    """The final pairwise exchange dominates the partitioning approach."""
+    run_experiment(benchmark, figures.sec52_partitioning)

@@ -1,0 +1,12 @@
+"""§5 (text): varied message lengths preserve the distribution ordering."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_sec5_varied_lengths(benchmark):
+    """A good distribution remains good when message lengths vary."""
+    run_experiment(benchmark, figures.sec5_varied_lengths)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""See the paper's phenomena: per-rank activity timelines.
+
+Renders ASCII Gantt strips of three algorithms on the same problem —
+the serialised column at 2-Step's gathering root, PersAlltoAll's
+lockstep permutation rounds, and Br_Lin's widening activity wavefront —
+plus each run's hottest network links.
+
+Run:  python examples/hotspot_visualizer.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.distributions import DISTRIBUTIONS
+from repro.metrics.timeline import render_timeline
+from repro.simulator.trace import Tracer
+
+
+def show(problem: "repro.BroadcastProblem", algorithm: str) -> None:
+    tracer = Tracer(kinds=("send", "recv"))
+    result = repro.run_broadcast(problem, algorithm, tracer=tracer)
+    print(f"--- {algorithm}: {result.elapsed_ms:.2f} ms, "
+          f"congestion={result.metrics.congestion}, "
+          f"link utilization={result.link_utilization:.1%} ---")
+    print(render_timeline(tracer, p=problem.p, width=70, max_ranks=16))
+    print()
+
+
+def main() -> None:
+    machine = repro.paragon(8, 8)
+    sources = DISTRIBUTIONS["E"].generate(machine, 16)
+    problem = repro.BroadcastProblem(machine, sources, message_size=4096)
+    print(
+        f"problem: s = {problem.s} sources, L = 4K, "
+        f"{machine.params.name} 8x8\n"
+    )
+    for algorithm in ("Br_Lin", "2-Step", "PersAlltoAll"):
+        show(problem, algorithm)
+    print(
+        "reading the strips: 2-Step's rank 0 row is a near-solid block of\n"
+        "receive marks (the gather hot spot of Figure 2); PersAlltoAll\n"
+        "keeps every source transmitting in lockstep for the whole run\n"
+        "(O(p) sends per source); Br_Lin's marks spread outward and stop\n"
+        "after ceil(log p) rounds — the paper's design objective made\n"
+        "visible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Dynamic load balancing: regular source patterns (§1's second motivation).
+
+"An application in which the number of source processors is not known
+in advance, but the positions of the processors tend to follow regular
+patterns, is dynamic load balancing for distributed data structures."
+
+We model a distributed spatial data structure on a 16x16 Paragon whose
+load concentrates geographically — a hot rectangular region (a square
+block of processors) fills up and every overloaded processor must
+broadcast its migration summary so all processors can update their
+routing tables.  Because the sources form the paper's worst-case
+*square block* pattern for the xy algorithms, this is exactly the
+scenario where §5.2's repositioning pays off.
+
+Run:  python examples/load_balancing.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.distributions import DISTRIBUTIONS
+from repro.distributions.ascii_art import render_placement
+
+SUMMARY_BYTES = 6144  # one migration summary per overloaded processor
+
+
+def broadcast_cost(problem: "repro.BroadcastProblem") -> dict:
+    """Completion time of the candidate strategies, in ms."""
+    return {
+        name: repro.run_broadcast(problem, name).elapsed_ms
+        for name in ("Br_xy_source", "Br_Lin", "Repos_xy_source")
+    }
+
+
+def main() -> None:
+    machine = repro.paragon(16, 16)
+
+    print("hot region grows as the workload skews; broadcast cost (ms):\n")
+    header = f"{'overloaded':>11}{'Br_xy_source':>14}{'Br_Lin':>10}{'Repos_xy_source':>17}{'repos gain':>12}"
+    print(header)
+    for s in (9, 25, 49, 100):
+        sources = DISTRIBUTIONS["Sq"].generate(machine, s)
+        problem = repro.BroadcastProblem(
+            machine, sources, message_size=SUMMARY_BYTES
+        )
+        costs = broadcast_cost(problem)
+        gain = 100 * (costs["Br_xy_source"] - costs["Repos_xy_source"]) / (
+            costs["Br_xy_source"]
+        )
+        print(
+            f"{s:>11}{costs['Br_xy_source']:>14.2f}{costs['Br_Lin']:>10.2f}"
+            f"{costs['Repos_xy_source']:>17.2f}{gain:>11.1f}%"
+        )
+
+    print()
+    sources = DISTRIBUTIONS["Sq"].generate(machine, 49)
+    print(render_placement(machine, sources, title="the hot region at s = 49"))
+    print()
+    print(
+        "the square block is the worst case for per-dimension broadcasting\n"
+        "(few source rows/columns); repositioning first turns it into an\n"
+        "ideal row distribution, which is why the gain column is positive\n"
+        "and grows with the hot region (§5.2, Figure 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Paragon vs T3D: the paper's headline architecture result.
+
+On the Paragon, hand-crafted combining algorithms (Br_*) dominate and
+the library collectives lose badly; on the T3D the ordering *inverts* —
+``MPI_Alltoall`` wins because bandwidth is plentiful, library
+collectives ride the shmem fast path, and Br_Lin pays for waiting and
+combining (§5.3, Figure 13).  This example runs the same logical
+problem on both simulated machines and prints the two orderings side by
+side.
+
+Run:  python examples/machine_comparison.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.distributions import DISTRIBUTIONS
+
+S = 40
+L = 4096
+ALGORITHMS = ["Br_Lin", "2-Step", "PersAlltoAll", "MPI_AllGather", "MPI_Alltoall"]
+
+
+def ranking(machine: "repro.Machine", seeds: int = 3) -> dict:
+    """Mean completion time (ms) per algorithm on ``machine``."""
+    sources = DISTRIBUTIONS["E"].generate(machine, S)
+    problem = repro.BroadcastProblem(machine, sources, message_size=L)
+    times = {}
+    for name in ALGORITHMS:
+        runs = [
+            repro.run_broadcast(problem, name, seed=seed).elapsed_ms
+            for seed in range(seeds)
+        ]
+        times[name] = sum(runs) / len(runs)
+    return times
+
+
+def show(title: str, times: dict) -> None:
+    print(title)
+    best = min(times.values())
+    for name, t in sorted(times.items(), key=lambda kv: kv[1]):
+        bar = "#" * max(1, int(30 * best / t))
+        print(f"  {name:<16}{t:>9.2f} ms  {bar}")
+    print()
+
+
+def main() -> None:
+    print(
+        f"same logical problem everywhere: s = {S} sources, L = {L} bytes, "
+        "equal distribution\n"
+    )
+    paragon_times = ranking(repro.paragon(10, 10), seeds=1)
+    show("Intel Paragon, 10x10 mesh (NX-era software costs):", paragon_times)
+
+    t3d_times = ranking(repro.t3d(128))
+    show("Cray T3D, 128 processors (shmem-backed collectives):", t3d_times)
+
+    par_best = min(paragon_times, key=paragon_times.get)
+    t3d_best = min(t3d_times, key=t3d_times.get)
+    print(f"best on the Paragon: {par_best}")
+    print(f"best on the T3D:     {t3d_best}")
+    print()
+    print(
+        "the inversion is the paper's §6 conclusion: use combining,\n"
+        "topology-aware algorithms (with repositioning) on mesh machines\n"
+        "with expensive messaging; use the wait-free library collective on\n"
+        "machines with abundant bandwidth and fast collectives."
+    )
+
+
+if __name__ == "__main__":
+    main()

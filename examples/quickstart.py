@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: one s-to-p broadcast on a simulated Paragon.
+
+Builds a 10x10 Paragon submesh, places 30 sources on the right
+diagonal, runs three of the paper's algorithms, prints completion times
+and the measured Figure-2 parameters, and asks the §5.2 selector what
+the paper would recommend for this problem.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.selector import recommend
+from repro.distributions.ascii_art import render_placement
+
+
+def main() -> None:
+    # 1. A machine: the paper's canonical 10x10 Intel Paragon submesh.
+    machine = repro.paragon(10, 10)
+
+    # 2. A source distribution: 30 sources on right diagonals (Dr of §4).
+    distribution = repro.get_distribution("Dr")
+    sources = distribution.generate(machine, 30)
+    print(render_placement(machine, sources, title="sources"))
+    print()
+
+    # 3. The problem: every source holds a 4 KiB message for everyone.
+    problem = repro.BroadcastProblem(machine, sources, message_size=4096)
+
+    # 4. Run several algorithms and compare.
+    print(f"{'algorithm':<16}{'time (ms)':>10}{'rounds':>8}{'messages':>10}")
+    for name in ("Br_Lin", "Br_xy_source", "2-Step", "PersAlltoAll"):
+        result = repro.run_broadcast(problem, name)
+        print(
+            f"{name:<16}{result.elapsed_ms:>10.2f}{result.num_rounds:>8}"
+            f"{result.num_transfers:>10}"
+        )
+    print()
+
+    # 5. Inspect the Figure-2 parameters of one run.
+    result = repro.run_broadcast(problem, "Br_Lin")
+    metrics = result.metrics
+    print("Br_Lin measured parameters (Figure 2 of the paper):")
+    print(f"  congestion   = {metrics.congestion}")
+    print(f"  wait         = {metrics.wait_count}")
+    print(f"  #send/rec    = {metrics.send_recv_ops}")
+    print(f"  av_msg_lgth  = {metrics.av_msg_lgth:.0f} bytes")
+    print(f"  av_act_proc  = {metrics.av_act_proc:.1f} of {problem.p}")
+    print()
+
+    # 6. What does the paper recommend here?
+    rec = recommend(problem)
+    print(f"recommended algorithm: {rec.algorithm}")
+    for reason in rec.reasons:
+        print(f"  - {reason}")
+    best = repro.run_broadcast(problem, rec.algorithm)
+    print(f"recommended algorithm runs in {best.elapsed_ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

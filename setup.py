@@ -1,0 +1,4 @@
+"""Setuptools shim for editable installs in offline environments."""
+from setuptools import setup
+
+setup()

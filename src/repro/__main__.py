@@ -1,0 +1,114 @@
+"""Top-level CLI: run one s-to-p broadcast from the command line.
+
+Examples::
+
+    python -m repro --machine paragon:10x10 --dist Dr --s 30 --L 4096
+    python -m repro --machine t3d:128 --algorithm MPI_Alltoall --s 40
+    python -m repro --machine paragon:16x16 --dist Sq --s 49 --timeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+import repro
+from repro.core.selector import recommend
+from repro.distributions.ascii_art import render_placement
+from repro.errors import ReproError
+from repro.machines import hypercube, paragon, t3d
+from repro.metrics.timeline import render_timeline
+from repro.simulator.trace import Tracer
+
+__all__ = ["main"]
+
+
+def parse_machine(spec: str) -> "repro.Machine":
+    """``paragon:RxC`` | ``t3d:P`` | ``hypercube:P`` → a Machine."""
+    kind, _, size = spec.partition(":")
+    if kind == "paragon":
+        rows, _, cols = size.partition("x")
+        return paragon(int(rows), int(cols))
+    if kind == "t3d":
+        return t3d(int(size))
+    if kind == "hypercube":
+        return hypercube(int(size))
+    raise ReproError(
+        f"unknown machine spec {spec!r}; use paragon:RxC, t3d:P, hypercube:P"
+    )
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run one s-to-p broadcast on a simulated MPP.",
+    )
+    parser.add_argument(
+        "--machine", default="paragon:10x10", help="paragon:RxC | t3d:P | hypercube:P"
+    )
+    parser.add_argument(
+        "--dist",
+        default="E",
+        help=f"source distribution ({', '.join(repro.list_distributions())})",
+    )
+    parser.add_argument("--s", type=int, default=30, help="number of sources")
+    parser.add_argument("--L", type=int, default=4096, help="message bytes")
+    parser.add_argument(
+        "--algorithm",
+        default=None,
+        help="algorithm name (default: the paper's recommendation)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--show-sources", action="store_true", help="render the placement"
+    )
+    parser.add_argument(
+        "--timeline", action="store_true", help="render the activity timeline"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        machine = parse_machine(args.machine)
+        distribution = repro.get_distribution(args.dist)
+        sources = distribution.generate(machine, args.s)
+        problem = repro.BroadcastProblem(machine, sources, message_size=args.L)
+        if args.algorithm is None:
+            rec = recommend(problem)
+            algorithm = rec.algorithm
+            print(f"algorithm (recommended): {algorithm}")
+        else:
+            algorithm = args.algorithm
+            print(f"algorithm: {algorithm}")
+        if args.show_sources:
+            print(render_placement(machine, sources, title="sources"))
+        tracer = Tracer(kinds=("send", "recv")) if args.timeline else None
+        result = repro.run_broadcast(
+            problem, algorithm, seed=args.seed, tracer=tracer
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"machine:    {machine.params.name}, p = {machine.p}")
+    print(f"problem:    s = {problem.s}, L = {args.L} bytes "
+          f"({distribution.name} distribution)")
+    print(f"time:       {result.elapsed_ms:.3f} ms")
+    print(f"rounds:     {result.num_rounds}")
+    print(f"messages:   {result.num_transfers}")
+    metrics = result.metrics
+    print(
+        "figure-2:   "
+        f"congestion={metrics.congestion} wait={metrics.wait_count} "
+        f"send_recv={metrics.send_recv_ops} "
+        f"av_msg_lgth={metrics.av_msg_lgth:.0f} "
+        f"av_act_proc={metrics.av_act_proc:.1f}"
+    )
+    if tracer is not None:
+        print()
+        print(render_timeline(tracer, p=machine.p))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

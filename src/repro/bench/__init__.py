@@ -1,0 +1,25 @@
+"""Benchmark harness: one experiment per paper table/figure.
+
+Each experiment in :mod:`repro.bench.figures` regenerates the data
+behind one figure of the paper's evaluation (§5) and returns a
+:class:`~repro.bench.types.FigureResult` holding the measured series,
+a paper-style text table, and the *shape checks* from DESIGN.md §4
+(who wins, by roughly what factor, where crossovers fall).
+
+Run from the command line::
+
+    python -m repro.bench list
+    python -m repro.bench fig3 fig13
+    python -m repro.bench all
+
+or through pytest-benchmark (``pytest benchmarks/ --benchmark-only``),
+where every experiment is a bench target that prints its table and
+asserts its checks.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import measure_problem, sweep
+from repro.bench.types import Check, FigureResult, Series
+
+__all__ = ["Series", "FigureResult", "Check", "measure_problem", "sweep"]

@@ -1,0 +1,10 @@
+"""``python -m repro.bench`` dispatch."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

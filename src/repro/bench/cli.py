@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench list            # show available experiments
+    python -m repro.bench fig3 fig13      # run two figures (full grids)
+    python -m repro.bench --quick all     # smoke-run everything
+    python -m repro.bench ablations       # the four ablation benches
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.bench.ablations import ALL_ABLATIONS
+from repro.bench.extensions import ALL_EXTENSIONS
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.types import FigureResult
+
+__all__ = ["main", "available_experiments"]
+
+
+def available_experiments() -> Dict[str, Callable[[bool], FigureResult]]:
+    """All runnable experiments: figures, §5.2 studies, ablations."""
+    table: Dict[str, Callable[[bool], FigureResult]] = {}
+    table.update(ALL_FIGURES)
+    table.update(ALL_ABLATIONS)
+    table.update(ALL_EXTENSIONS)
+    return table
+
+
+def _expand(names: List[str]) -> List[str]:
+    """Resolve the ``all``/``figures``/``ablations`` meta-targets."""
+    out: List[str] = []
+    for name in names:
+        if name == "all":
+            out.extend(ALL_FIGURES)
+            out.extend(ALL_ABLATIONS)
+            out.extend(ALL_EXTENSIONS)
+        elif name == "figures":
+            out.extend(ALL_FIGURES)
+        elif name == "ablations":
+            out.extend(ALL_ABLATIONS)
+        elif name == "extensions":
+            out.extend(ALL_EXTENSIONS)
+        else:
+            out.append(name)
+    return out
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run experiments named on the command line; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names, or: list | all | figures | ablations | extensions",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink sweep grids for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    table = available_experiments()
+    if args.experiments == ["list"] or args.experiments == []:
+        print("available experiments:")
+        for name in table:
+            print(f"  {name}")
+        print("meta-targets: all, figures, ablations, extensions")
+        return 0
+
+    names = _expand(args.experiments)
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(table)}", file=sys.stderr)
+        return 2
+
+    failed: List[str] = []
+    for name in names:
+        start = time.time()
+        result = table[name](args.quick)
+        elapsed = time.time() - start
+        print(result.report())
+        print(f"(ran in {elapsed:.1f}s)\n")
+        if not result.all_passed:
+            failed.append(name)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all shape checks passed ({len(names)} experiment(s))")
+    return 0

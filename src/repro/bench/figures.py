@@ -1,0 +1,927 @@
+"""The experiments: one function per table/figure of the paper (§4, §5).
+
+Every ``figNN()`` regenerates the corresponding figure's data on the
+simulated machines and evaluates the DESIGN.md shape criteria.  The
+functions are deterministic; ``quick=True`` shrinks the sweep grids for
+smoke testing (the shape checks are chosen to hold in both modes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.bench.runner import measure_problem, sweep
+from repro.bench.types import Check, FigureResult, Series
+from repro.core.analysis import figure2_row
+from repro.core.problem import BroadcastProblem
+from repro.core.runner import run_broadcast
+from repro.distributions import DISTRIBUTIONS
+from repro.distributions.ascii_art import render_placement
+from repro.machines import paragon, t3d
+
+__all__ = [
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "sec52_partitioning",
+    "sec52_conditions",
+    "sec5_varied_lengths",
+    "ALL_FIGURES",
+]
+
+#: The seven Figure-3 algorithms, paper order.
+_FIG3_ALGOS = [
+    "Br_Lin",
+    "Br_xy_source",
+    "Br_xy_dim",
+    "2-Step",
+    "PersAlltoAll",
+    "MPI_AllGather",
+    "MPI_Alltoall",
+]
+
+
+def fig01(quick: bool = False) -> FigureResult:
+    """Figure 1: placement of 30 sources in row/cross/right-diagonal.
+
+    Regenerated as ASCII grids (the paper's dots-on-a-mesh picture);
+    the checks verify the structural facts the figure shows.
+    """
+    machine = paragon(10, 10)
+    result = FigureResult(
+        "Figure 1", "placement of 30 sources on a 10x10 mesh"
+    )
+    for key in ("R", "Cr", "Dr"):
+        dist = DISTRIBUTIONS[key]
+        ranks = dist.generate(machine, 30)
+        result.notes.append(
+            "\n" + render_placement(machine, ranks, title=dist.name)
+        )
+    row = DISTRIBUTIONS["R"].generate(machine, 30)
+    rows_used = {r // 10 for r in row}
+    result.checks.append(
+        Check(
+            "R(30) occupies 3 evenly spaced full rows",
+            rows_used == {0, 3, 6},
+            f"rows {sorted(rows_used)}",
+        )
+    )
+    diag = DISTRIBUTIONS["Dr"].generate(machine, 30)
+    per_row = [sum(1 for r in diag if r // 10 == i) for i in range(10)]
+    result.checks.append(
+        Check(
+            "Dr(30) puts 3 sources in every row",
+            all(v == 3 for v in per_row),
+            f"per-row {per_row}",
+        )
+    )
+    cross = DISTRIBUTIONS["Cr"].generate(machine, 30)
+    full_rows = [
+        i for i in range(10) if sum(1 for r in cross if r // 10 == i) == 10
+    ]
+    result.checks.append(
+        Check("Cr(30) contains two full rows", len(full_rows) == 2)
+    )
+    return result
+
+
+def fig02(quick: bool = False) -> FigureResult:
+    """Figure 2 (table): measured vs analytic algorithm/distribution
+    parameters on the equal distribution of a p = 2^k machine.
+
+    Runs 2-Step, PersAlltoAll and Br_Lin on a 16x16 Paragon (p = 256)
+    and checks that the measured counters scale the way the table's
+    O-forms say — congestion linear in s for 2-Step and constant for
+    the others, #send/rec O(p) vs O(log p), and Br_Lin's s = 2^l
+    activity-growth penalty.
+    """
+    machine = paragon(16, 16)
+    p = machine.p
+    result = FigureResult(
+        "Figure 2",
+        "algorithm vs distribution parameters, equal distribution, p = 256",
+    )
+    s_lo, s_hi = 16, 32  # both powers of two: the table's s = 2^l row
+    measured: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for name in ("2-Step", "PersAlltoAll", "Br_Lin"):
+        measured[name] = {}
+        for s in (s_lo, s_hi, 15):
+            src = DISTRIBUTIONS["E"].generate(machine, s)
+            problem = BroadcastProblem(machine, src, message_size=1024)
+            metrics = run_broadcast(problem, name).metrics
+            measured[name][s] = metrics.as_dict()
+    params = ["congestion", "wait", "send_recv", "av_msg_lgth", "av_act_proc"]
+    for s in (s_lo, s_hi):
+        series = Series(
+            title=f"measured parameters at s = {s} (L = 1K)",
+            x_label="param",
+            x_values=params,
+            curves={
+                name: [measured[name][s][k] for k in params]
+                for name in measured
+            },
+            y_label="counter value",
+        )
+        result.series.append(series)
+    two = measured["2-Step"]
+    result.checks.append(
+        Check(
+            "2-Step congestion is O(s): doubles when s doubles",
+            1.6 <= two[s_hi]["congestion"] / two[s_lo]["congestion"] <= 2.4,
+            f"{two[s_lo]['congestion']} -> {two[s_hi]['congestion']}",
+        )
+    )
+    pers = measured["PersAlltoAll"]
+    result.checks.append(
+        Check(
+            "PersAlltoAll congestion is O(1) in s",
+            pers[s_hi]["congestion"] == pers[s_lo]["congestion"] <= 2,
+        )
+    )
+    result.checks.append(
+        Check(
+            "PersAlltoAll #send/rec is O(p)",
+            p - 1 <= pers[s_lo]["send_recv"] <= 2 * p,
+            f"{pers[s_lo]['send_recv']} vs p = {p}",
+        )
+    )
+    lin = measured["Br_Lin"]
+    logp = math.ceil(math.log2(p))
+    result.checks.append(
+        Check(
+            "Br_Lin #send/rec is O(log p)",
+            lin[s_lo]["send_recv"] <= 3 * logp,
+            f"{lin[s_lo]['send_recv']} vs 3*log p = {3 * logp}",
+        )
+    )
+    result.checks.append(
+        Check(
+            "Br_Lin wait cost is O(log p), higher than the others' O(1)",
+            lin[s_lo]["wait"] > max(two[s_lo]["wait"], 1),
+            f"Br_Lin {lin[s_lo]['wait']} vs 2-Step {two[s_lo]['wait']}",
+        )
+    )
+    result.checks.append(
+        Check(
+            "Br_Lin at s != 2^l activates processors faster than s = 2^l",
+            lin[15]["av_act_proc"] >= lin[16]["av_act_proc"] * 0.98,
+            f"s=15: {lin[15]['av_act_proc']:.1f}, s=16: {lin[16]['av_act_proc']:.1f}",
+        )
+    )
+    for name in ("2-Step", "PersAlltoAll", "Br_Lin"):
+        row = figure2_row(name, p, s_lo, 1024)
+        result.notes.append(f"analytic {row.algorithm}: {row.as_dict()}")
+    return result
+
+
+def fig03(quick: bool = False) -> FigureResult:
+    """Figure 3: 10x10 Paragon, s = 1..100, L = 4K, equal distribution."""
+    machine = paragon(10, 10)
+    s_values = [1, 10, 30, 60, 100] if quick else [1, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    curves = sweep(
+        machine, _FIG3_ALGOS, DISTRIBUTIONS["E"], s_values, message_size=4096
+    )
+    series = Series(
+        "10x10 Paragon, L = 4K, equal distribution", "s", s_values, curves
+    )
+    result = FigureResult(
+        "Figure 3", "Paragon: all algorithms as the source count varies"
+    )
+    result.series.append(series)
+    at = series.value
+    mid = 30
+    best_br = min(at(a, mid) for a in ("Br_Lin", "Br_xy_source", "Br_xy_dim"))
+    worst_br = max(at(a, mid) for a in ("Br_Lin", "Br_xy_source", "Br_xy_dim"))
+    result.checks.append(
+        Check(
+            "Br_* are the three best curves (s = 30)",
+            worst_br < min(at(a, mid) for a in ("2-Step", "PersAlltoAll")),
+        )
+    )
+    result.checks.append(
+        Check(
+            "2-Step and PersAlltoAll are far off (>= 2x at s = 30)",
+            min(at("2-Step", mid), at("PersAlltoAll", mid)) > 2 * best_br,
+        )
+    )
+    result.checks.append(
+        Check(
+            "MPI versions trail their NX counterparts",
+            at("MPI_AllGather", mid) > at("2-Step", mid)
+            and at("MPI_Alltoall", mid) > at("PersAlltoAll", mid),
+        )
+    )
+    hi, lo = s_values[-1], 10
+    ratio = at("Br_xy_source", hi) / at("Br_xy_source", lo)
+    result.checks.append(
+        Check(
+            "Br_* scale roughly linearly with s",
+            0.4 * (hi / lo) <= ratio <= 1.6 * (hi / lo),
+            f"time ratio {ratio:.1f} for s ratio {hi / lo:.1f}",
+        )
+    )
+    return result
+
+
+def fig04(quick: bool = False) -> FigureResult:
+    """Figure 4: 10x10 Paragon, L = 32 B..16 K, s = 30, right diagonal."""
+    machine = paragon(10, 10)
+    sizes = [32, 512, 4096, 16384] if quick else [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    dist = DISTRIBUTIONS["Dr"]
+    sources = dist.generate(machine, 30)
+    curves: Dict[str, List[float]] = {a: [] for a in _FIG3_ALGOS}
+    for L in sizes:
+        problem = BroadcastProblem(machine, sources, message_size=L)
+        for a in _FIG3_ALGOS:
+            curves[a].append(measure_problem(problem, a))
+    series = Series(
+        "10x10 Paragon, s = 30, right diagonal", "L (bytes)", sizes, curves
+    )
+    result = FigureResult(
+        "Figure 4", "Paragon: all algorithms as the message size varies"
+    )
+    result.series.append(series)
+    at = series.value
+    result.checks.append(
+        Check(
+            "Br_* nearly flat up to 512 B (overhead bound)",
+            at("Br_Lin", 512) < 1.8 * at("Br_Lin", 32),
+            f"{at('Br_Lin', 32):.2f} -> {at('Br_Lin', 512):.2f} ms",
+        )
+    )
+    result.checks.append(
+        Check(
+            "linear growth for large messages (16K ~ 4x the 4K time)",
+            2.5 <= at("Br_Lin", 16384) / at("Br_Lin", 4096) <= 5.5,
+        )
+    )
+    result.checks.append(
+        Check(
+            "2-Step/PersAlltoAll poor at every L",
+            all(
+                min(at("2-Step", L), at("PersAlltoAll", L))
+                > at("Br_xy_source", L)
+                for L in sizes
+            ),
+        )
+    )
+    result.checks.append(
+        Check(
+            "PersAlltoAll flat until ~1K (the Figure-3 observation)",
+            at("PersAlltoAll", 512) < 1.3 * at("PersAlltoAll", 32),
+        )
+    )
+    return result
+
+
+def fig05(quick: bool = False) -> FigureResult:
+    """Figure 5: machine sizes 4..256, L = 1K, s ~ sqrt(p), right diagonal."""
+    sides = [2, 4, 10, 16] if quick else [2, 4, 6, 8, 10, 12, 14, 16]
+    curves: Dict[str, List[float]] = {a: [] for a in _FIG3_ALGOS}
+    p_values = []
+    for side in sides:
+        machine = paragon(side, side)
+        p_values.append(machine.p)
+        s = side  # ~ sqrt(p)
+        sources = DISTRIBUTIONS["Dr"].generate(machine, s)
+        problem = BroadcastProblem(machine, sources, message_size=1024)
+        for a in _FIG3_ALGOS:
+            curves[a].append(measure_problem(problem, a))
+    series = Series(
+        "square Paragons, L = 1K, s = sqrt(p), right diagonal",
+        "p",
+        p_values,
+        curves,
+    )
+    result = FigureResult(
+        "Figure 5", "Paragon: all algorithms as the machine size varies"
+    )
+    result.series.append(series)
+    at = series.value
+    ratio_small = at("PersAlltoAll", 4) / at("Br_Lin", 4)
+    ratio_mid = at("PersAlltoAll", 16) / at("Br_Lin", 16)
+    ratio_big = at("PersAlltoAll", 256) / at("Br_Lin", 256)
+    result.checks.append(
+        Check(
+            "PersAlltoAll near parity on the smallest machines",
+            ratio_small < 1.3,
+            f"{ratio_small:.2f}x at p = 4",
+        )
+    )
+    result.checks.append(
+        Check(
+            "PersAlltoAll diverges with machine size",
+            ratio_small < ratio_mid < ratio_big and ratio_big > 2.5,
+            f"{ratio_small:.2f}x -> {ratio_mid:.2f}x -> {ratio_big:.2f}x",
+        )
+    )
+    result.checks.append(
+        Check(
+            "every algorithm's time grows with p",
+            all(
+                curves[a][-1] > curves[a][0] for a in _FIG3_ALGOS
+            ),
+        )
+    )
+    return result
+
+
+def fig06(quick: bool = False) -> FigureResult:
+    """Figure 6: 10x10 Paragon, L = 2K, s = 30, all distributions x Br_*."""
+    machine = paragon(10, 10)
+    keys = ["R", "C", "Dr", "Dl", "E", "B", "Sq", "Cr"]
+    algos = ["Br_Lin", "Br_xy_source", "Br_xy_dim"]
+    curves: Dict[str, List[float]] = {a: [] for a in algos}
+    for key in keys:
+        sources = DISTRIBUTIONS[key].generate(machine, 30)
+        problem = BroadcastProblem(machine, sources, message_size=2048)
+        for a in algos:
+            curves[a].append(measure_problem(problem, a))
+    series = Series(
+        "10x10 Paragon, L = 2K, s = 30", "distribution", keys, curves
+    )
+    result = FigureResult(
+        "Figure 6", "Paragon: Br_* across the eight source distributions"
+    )
+    result.series.append(series)
+    at = series.value
+    easy = ["R", "C", "Dr", "Dl"]
+    result.checks.append(
+        Check(
+            "Br_xy_source roughly equal on row/col/diagonals",
+            max(at("Br_xy_source", k) for k in easy)
+            < 1.15 * min(at("Br_xy_source", k) for k in easy),
+        )
+    )
+    result.checks.append(
+        Check(
+            "square block and cross are the expensive distributions",
+            min(at("Br_xy_source", "Sq"), at("Br_xy_source", "Cr"))
+            > max(at("Br_xy_source", k) for k in easy),
+        )
+    )
+    result.checks.append(
+        Check(
+            "Br_xy_dim pays for the wrong dimension on the row distribution",
+            at("Br_xy_dim", "R") > 1.2 * at("Br_xy_source", "R"),
+        )
+    )
+    result.checks.append(
+        Check(
+            "Br_Lin is the most robust on the cross distribution",
+            at("Br_Lin", "Cr") < 1.1 * min(at("Br_xy_source", "Cr"), at("Br_xy_dim", "Cr")),
+            f"Br_Lin {at('Br_Lin', 'Cr'):.2f} vs xy "
+            f"{min(at('Br_xy_source', 'Cr'), at('Br_xy_dim', 'Cr')):.2f}",
+        )
+    )
+    return result
+
+
+def fig07(quick: bool = False) -> FigureResult:
+    """Figure 7: 10x10 Paragon, right diagonal, total fixed at 80K."""
+    machine = paragon(10, 10)
+    s_values = [5, 20, 80] if quick else [5, 10, 20, 40, 80]
+    algos = ["Br_Lin", "Br_xy_source", "Br_xy_dim"]
+    curves = sweep(
+        machine,
+        algos,
+        DISTRIBUTIONS["Dr"],
+        s_values,
+        message_size=0,
+        total_bytes=80 * 1024,
+    )
+    series = Series(
+        "10x10 Paragon, right diagonal, total = 80K", "s", s_values, curves
+    )
+    result = FigureResult(
+        "Figure 7", "Paragon: fixed total data spread over more sources"
+    )
+    result.series.append(series)
+    for a in algos:
+        result.checks.append(
+            Check(
+                f"{a}: spreading the fixed total helps (s = 5 vs s = 80)",
+                curves[a][-1] < curves[a][0],
+                f"{curves[a][0]:.2f} -> {curves[a][-1]:.2f} ms",
+            )
+        )
+    return result
+
+
+def fig08(quick: bool = False) -> FigureResult:
+    """Figure 8: 120-node Paragon, dimensions vary, equal distribution."""
+    shapes = [(4, 30), (8, 15), (10, 12)] if quick else [
+        (4, 30),
+        (5, 24),
+        (6, 20),
+        (8, 15),
+        (10, 12),
+        (12, 10),
+        (15, 8),
+        (20, 6),
+    ]
+    s_values = (8, 15, 30)
+    curves: Dict[str, List[float]] = {f"s={s}": [] for s in s_values}
+    labels = [f"{r}x{c}" for r, c in shapes]
+    for r, c in shapes:
+        machine = paragon(r, c)
+        for s in s_values:
+            sources = DISTRIBUTIONS["E"].generate(machine, s)
+            problem = BroadcastProblem(machine, sources, message_size=4096)
+            curves[f"s={s}"].append(measure_problem(problem, "Br_Lin"))
+    series = Series(
+        "120-node Paragon, Br_Lin, equal distribution, L = 4K",
+        "dimensions",
+        labels,
+        curves,
+    )
+    result = FigureResult(
+        "Figure 8", "Paragon: machine dimensions interact with the distribution"
+    )
+    result.series.append(series)
+    spread8 = max(curves["s=8"]) / min(curves["s=8"])
+    result.checks.append(
+        Check(
+            "machine dimensions change performance at fixed p = 120",
+            spread8 > 1.15,
+            f"s=8 spread {spread8:.2f}x across shapes",
+        )
+    )
+    result.notes.append(
+        "deviation: the paper reports dimension sensitivity growing "
+        "with s; in our model the equal distribution's placement "
+        "artifacts dominate at small s instead (see EXPERIMENTS.md)"
+    )
+    result.checks.append(
+        Check(
+            "the s = 15 < s = 8 anomaly appears on some shape",
+            any(
+                curves["s=15"][i] < curves["s=8"][i] * 1.02
+                for i in range(len(shapes))
+            ),
+        )
+    )
+    return result
+
+
+def _repos_percent_diff(machine, key: str, s: int, L: int) -> float:
+    """Percent gain of Repos_xy_source over Br_xy_source (+ = faster)."""
+    sources = DISTRIBUTIONS[key].generate(machine, s)
+    problem = BroadcastProblem(machine, sources, message_size=L)
+    t_plain = measure_problem(problem, "Br_xy_source")
+    t_repos = measure_problem(problem, "Repos_xy_source")
+    return 100.0 * (t_plain - t_repos) / t_plain
+
+
+def fig09(quick: bool = False) -> FigureResult:
+    """Figure 9: 16x16 Paragon, Repos_xy_source vs Br_xy_source, L = 6K."""
+    machine = paragon(16, 16)
+    s_values = [16, 75, 192] if quick else [16, 32, 50, 75, 100, 128, 150, 192]
+    keys = ["Cr", "Sq", "E", "B"]
+    curves = {
+        key: [_repos_percent_diff(machine, key, s, 6144) for s in s_values]
+        for key in keys
+    }
+    series = Series(
+        "16x16 Paragon, L = 6K: repositioning gain",
+        "s",
+        s_values,
+        curves,
+        y_label="% difference (+ = repositioning faster)",
+    )
+    result = FigureResult(
+        "Figure 9", "Paragon: repositioning vs in-place across distributions"
+    )
+    result.series.append(series)
+    at = series.value
+    result.checks.append(
+        Check(
+            "significant gain on the cross distribution (moderate s)",
+            at("Cr", 75) > 15.0,
+            f"{at('Cr', 75):.1f}%",
+        )
+    )
+    result.checks.append(
+        Check(
+            "gain on the square block distribution",
+            at("Sq", 75) > 5.0,
+            f"{at('Sq', 75):.1f}%",
+        )
+    )
+    result.checks.append(
+        Check(
+            "repositioning costs extra on the near-ideal band",
+            at("B", 75) < 0.0,
+            f"{at('B', 75):.1f}%",
+        )
+    )
+    result.checks.append(
+        Check(
+            "gains taper off as s grows",
+            at("Cr", s_values[-1]) < at("Cr", 75),
+        )
+    )
+    return result
+
+
+def fig10(quick: bool = False) -> FigureResult:
+    """Figure 10: 16x16 Paragon, s = 75, message length varies."""
+    machine = paragon(16, 16)
+    sizes = [128, 1024, 6144, 16384] if quick else [128, 256, 512, 1024, 2048, 4096, 6144, 8192, 16384]
+    keys = ["Cr", "Sq", "E", "B"]
+    curves = {
+        key: [_repos_percent_diff(machine, key, 75, L) for L in sizes]
+        for key in keys
+    }
+    series = Series(
+        "16x16 Paragon, s = 75: repositioning gain",
+        "L (bytes)",
+        sizes,
+        curves,
+        y_label="% difference (+ = repositioning faster)",
+    )
+    result = FigureResult(
+        "Figure 10", "Paragon: repositioning gain vs message length"
+    )
+    result.series.append(series)
+    at = series.value
+    result.checks.append(
+        Check(
+            "below ~1K repositioning pays only for the cross",
+            at("Cr", 128) > max(at("Sq", 128), at("E", 128), at("B", 128)),
+        )
+    )
+    result.checks.append(
+        Check(
+            "benefit grows with message size on hard distributions",
+            at("Sq", 6144) > at("Sq", 128),
+            f"{at('Sq', 128):.1f}% -> {at('Sq', 6144):.1f}%",
+        )
+    )
+    result.checks.append(
+        Check(
+            "band never benefits meaningfully",
+            all(v < 5.0 for v in curves["B"]),
+        )
+    )
+    return result
+
+
+def fig11(quick: bool = False) -> FigureResult:
+    """Figure 11: T3D MPI_AllGather scalability.
+
+    (a) machine sizes 16..256 with s = 32, total = 128K;
+    (b) p = 128, L = 16K, source count varies.
+    """
+    keys = ["E", "Dr", "R", "Sq"]
+    result = FigureResult(
+        "Figure 11", "T3D: MPI_AllGather vs machine size and problem size"
+    )
+    p_values = [32, 128] if quick else [16, 32, 64, 128, 256]
+    curves_a: Dict[str, List[float]] = {k: [] for k in keys}
+    for p in p_values:
+        machine = t3d(p)
+        s = min(32, p)
+        L = (128 * 1024) // s
+        for key in keys:
+            sources = DISTRIBUTIONS[key].generate(machine, s)
+            problem = BroadcastProblem(machine, sources, message_size=L)
+            curves_a[key].append(measure_problem(problem, "MPI_AllGather"))
+    result.series.append(
+        Series(
+            "(a) s = 32, total = 128K, machine size varies",
+            "p",
+            p_values,
+            curves_a,
+        )
+    )
+    machine = t3d(128)
+    s_values = [8, 32, 128] if quick else [8, 16, 32, 64, 128]
+    curves_b: Dict[str, List[float]] = {k: [] for k in keys}
+    for s in s_values:
+        for key in keys:
+            sources = DISTRIBUTIONS[key].generate(machine, s)
+            problem = BroadcastProblem(machine, sources, message_size=16384)
+            curves_b[key].append(measure_problem(problem, "MPI_AllGather"))
+    result.series.append(
+        Series("(b) p = 128, L = 16K, source count varies", "s", s_values, curves_b)
+    )
+    # checks
+    small_p = p_values[0]
+    i_small = 0
+    spread_small = max(c[i_small] for c in curves_a.values()) / min(
+        c[i_small] for c in curves_a.values()
+    )
+    result.checks.append(
+        Check(
+            "distribution has little impact on small machines",
+            spread_small < 1.25,
+            f"spread {spread_small:.2f}x at p = {small_p}",
+        )
+    )
+    i_big = len(p_values) - 1
+    result.checks.append(
+        Check(
+            "equal distribution among the best on large machines",
+            curves_a["E"][i_big]
+            <= 1.05 * min(c[i_big] for c in curves_a.values()),
+        )
+    )
+    result.checks.append(
+        Check(
+            "(b) time grows with problem size",
+            all(c[-1] > c[0] for c in curves_b.values()),
+        )
+    )
+    return result
+
+
+def fig12(quick: bool = False) -> FigureResult:
+    """Figure 12: 128-proc T3D, total = 128K, sources vary, MPI_AllGather."""
+    machine = t3d(128)
+    keys = ["E", "Dr", "R", "Sq"]
+    s_values = [4, 32, 128] if quick else [2, 4, 8, 16, 32, 64, 128]
+    curves: Dict[str, List[float]] = {k: [] for k in keys}
+    for s in s_values:
+        L = (128 * 1024) // s
+        for key in keys:
+            sources = DISTRIBUTIONS[key].generate(machine, s)
+            problem = BroadcastProblem(machine, sources, message_size=L)
+            curves[key].append(measure_problem(problem, "MPI_AllGather"))
+    series = Series(
+        "128-proc T3D, MPI_AllGather, total = 128K", "s", s_values, curves
+    )
+    result = FigureResult(
+        "Figure 12", "T3D: fixed total spread over more sources"
+    )
+    result.series.append(series)
+    for key in keys:
+        result.checks.append(
+            Check(
+                f"{key}: more sources are faster at fixed total",
+                curves[key][-1] < curves[key][0],
+                f"{curves[key][0]:.2f} -> {curves[key][-1]:.2f} ms",
+            )
+        )
+    return result
+
+
+def fig13(quick: bool = False) -> FigureResult:
+    """Figure 13: 128-proc T3D, L = 4K.
+
+    (a) the three algorithms as s varies (equal distribution);
+    (b) the three algorithms across distributions at s = 40.
+    """
+    machine = t3d(128)
+    algos = ["MPI_AllGather", "MPI_Alltoall", "Br_Lin"]
+    result = FigureResult(
+        "Figure 13", "T3D: the ordering inverts relative to the Paragon"
+    )
+    s_values = [5, 40, 128] if quick else [5, 10, 20, 40, 60, 80, 100, 128]
+    curves_a = sweep(
+        machine, algos, DISTRIBUTIONS["E"], s_values, message_size=4096
+    )
+    series_a = Series(
+        "(a) equal distribution, L = 4K", "s", s_values, curves_a
+    )
+    result.series.append(series_a)
+    keys = ["R", "C", "Dr", "Dl", "E", "B", "Sq", "Cr"]
+    curves_b: Dict[str, List[float]] = {a: [] for a in algos}
+    for key in keys:
+        sources = DISTRIBUTIONS[key].generate(machine, 40)
+        problem = BroadcastProblem(machine, sources, message_size=4096)
+        for a in algos:
+            curves_b[a].append(measure_problem(problem, a))
+    result.series.append(
+        Series("(b) s = 40, L = 4K", "distribution", keys, curves_b)
+    )
+    at = series_a.value
+    mid = 40
+    result.checks.append(
+        Check(
+            "MPI_Alltoall gives the best performance (s = 40)",
+            at("MPI_Alltoall", mid)
+            < min(at("MPI_AllGather", mid), at("Br_Lin", mid)),
+        )
+    )
+    result.checks.append(
+        Check(
+            "Br_Lin is the worst at moderate/large s (wait + combining)",
+            at("Br_Lin", mid) > at("MPI_AllGather", mid)
+            and at("Br_Lin", s_values[-1]) > at("MPI_AllGather", s_values[-1]),
+        )
+    )
+    ratio_lo = at("MPI_AllGather", s_values[0]) / at("MPI_Alltoall", s_values[0])
+    ratio_hi = at("MPI_AllGather", s_values[-1]) / at("MPI_Alltoall", s_values[-1])
+    result.checks.append(
+        Check(
+            "AllGather converges toward AlltoAll as s grows",
+            ratio_hi < ratio_lo,
+            f"ratio {ratio_lo:.2f} -> {ratio_hi:.2f}",
+        )
+    )
+    result.checks.append(
+        Check(
+            "(b) MPI_Alltoall performs well for all distribution patterns",
+            max(curves_b["MPI_Alltoall"]) < min(curves_b["Br_Lin"]),
+        )
+    )
+    result.notes.append(
+        "deviation: at very small s (~5) our Br_Lin dips below "
+        "MPI_Alltoall; the paper's Fig 13(a) ordering is reproduced from "
+        "s >= 10 (see EXPERIMENTS.md)"
+    )
+    return result
+
+
+def sec52_partitioning(quick: bool = False) -> FigureResult:
+    """§5.2 (text): partitioning hardly ever beats repositioning alone."""
+    machine = paragon(16, 16)
+    keys = ["Cr", "Sq", "E", "B"]
+    s_values = [32, 75] if quick else [16, 32, 75, 128]
+    rows = []
+    wins = 0
+    trials = 0
+    curves: Dict[str, List[float]] = {"Repos_xy_source": [], "Part_xy_source": []}
+    labels = []
+    for key in keys:
+        for s in s_values:
+            sources = DISTRIBUTIONS[key].generate(machine, s)
+            problem = BroadcastProblem(machine, sources, message_size=6144)
+            t_repos = measure_problem(problem, "Repos_xy_source")
+            t_part = measure_problem(problem, "Part_xy_source")
+            curves["Repos_xy_source"].append(t_repos)
+            curves["Part_xy_source"].append(t_part)
+            labels.append(f"{key}/s={s}")
+            trials += 1
+            if t_part < t_repos:
+                wins += 1
+            rows.append((key, s, t_repos, t_part))
+    series = Series(
+        "16x16 Paragon, L = 6K: repositioning vs partitioning",
+        "dist/s",
+        labels,
+        curves,
+    )
+    result = FigureResult(
+        "Sec 5.2 partitioning",
+        "the final pairwise exchange dominates partitioning",
+    )
+    result.series.append(series)
+    result.checks.append(
+        Check(
+            "partitioning hardly ever wins",
+            wins <= trials // 3,
+            f"{wins}/{trials} wins",
+        )
+    )
+    return result
+
+
+def sec52_conditions(quick: bool = False) -> FigureResult:
+    """§5.2 (text): repositioning cost is small when the three
+    conditions hold and the input is near-ideal."""
+    from repro.core.ideal import ideal_row_sources
+
+    machine = paragon(16, 16)
+    result = FigureResult(
+        "Sec 5.2 conditions",
+        "repositioning overhead on a near-ideal input within the regime",
+    )
+    s_values = [32, 75] if quick else [16, 32, 50, 75, 100]
+    curves: Dict[str, List[float]] = {"Br_xy_source": [], "Repos_xy_source": []}
+    for s in s_values:
+        sources = ideal_row_sources(machine, s)
+        problem = BroadcastProblem(machine, sources, message_size=6144)
+        curves["Br_xy_source"].append(measure_problem(problem, "Br_xy_source"))
+        curves["Repos_xy_source"].append(
+            measure_problem(problem, "Repos_xy_source")
+        )
+    series = Series(
+        "16x16 Paragon, ideal row input, L = 6K", "s", s_values, curves
+    )
+    result.series.append(series)
+    overheads = [
+        r - b
+        for r, b in zip(curves["Repos_xy_source"], curves["Br_xy_source"])
+    ]
+    result.checks.append(
+        Check(
+            "repositioning an ideal input costs little (a few ms at most)",
+            all(o < 3.0 for o in overheads),
+            f"overheads {['%.2f' % o for o in overheads]} ms",
+        )
+    )
+    return result
+
+
+#: Registry used by the CLI and the bench targets.
+ALL_FIGURES = {
+    "fig1": fig01,
+    "fig2": fig02,
+    "fig3": fig03,
+    "fig4": fig04,
+    "fig5": fig05,
+    "fig6": fig06,
+    "fig7": fig07,
+    "fig8": fig08,
+    "fig9": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "sec52-partitioning": sec52_partitioning,
+    "sec52-conditions": sec52_conditions,
+}
+
+
+def sec5_varied_lengths(quick: bool = False) -> FigureResult:
+    """§5 (text): non-uniform message lengths do not reorder anything.
+
+    "In our experiments, using different length messages did not
+    influence the performance of the algorithms significantly.  In
+    particular, for a given algorithm, a good distribution remains a
+    good distribution when the length of messages varies."
+
+    We re-run the Figure-6 distribution sweep with per-source sizes
+    drawn uniformly from [L/2, 3L/2] (same expected total) and check
+    that (a) times move only modestly and (b) the good/bad ordering of
+    distributions is preserved per algorithm.
+    """
+    import numpy as np
+
+    machine = paragon(10, 10)
+    keys = ["R", "Dr", "E", "Sq", "Cr"] if quick else ["R", "C", "Dr", "Dl", "E", "B", "Sq", "Cr"]
+    algos = ["Br_Lin", "Br_xy_source"]
+    L = 2048
+    rng = np.random.default_rng(7)
+    result = FigureResult(
+        "Sec 5 varied lengths",
+        "non-uniform message lengths preserve the distribution ordering",
+    )
+    curves: Dict[str, List[float]] = {}
+    for a in algos:
+        curves[f"{a} (uniform)"] = []
+        curves[f"{a} (varied)"] = []
+    for key in keys:
+        sources = DISTRIBUTIONS[key].generate(machine, 30)
+        sizes = {
+            rank: int(rng.integers(L // 2, 3 * L // 2 + 1)) for rank in sources
+        }
+        uniform = BroadcastProblem(machine, sources, message_size=L)
+        varied = BroadcastProblem(
+            machine, sources, message_size=L, sizes=sizes
+        )
+        for a in algos:
+            curves[f"{a} (uniform)"].append(measure_problem(uniform, a))
+            curves[f"{a} (varied)"].append(measure_problem(varied, a))
+    series = Series(
+        "10x10 Paragon, s = 30, L ~ U[1K, 3K] vs uniform 2K",
+        "distribution",
+        keys,
+        curves,
+    )
+    result.series.append(series)
+    for a in algos:
+        uniform = curves[f"{a} (uniform)"]
+        varied = curves[f"{a} (varied)"]
+        # Ordering preserved up to ties: every decisively ordered pair
+        # (>15% apart under uniform sizes) keeps its order when sizes
+        # vary.  Near-ties may legitimately shuffle.
+        inversions = []
+        for i, ki in enumerate(keys):
+            for j, kj in enumerate(keys):
+                if uniform[i] > 1.15 * uniform[j] and varied[i] < varied[j]:
+                    inversions.append((ki, kj))
+        result.checks.append(
+            Check(
+                f"{a}: decisively good/bad distributions keep their order",
+                not inversions,
+                f"inversions: {inversions}" if inversions else "none",
+            )
+        )
+        rel = max(
+            abs(u - v) / u for u, v in zip(uniform, varied)
+        )
+        result.checks.append(
+            Check(
+                f"{a}: times move only modestly (< 25%)",
+                rel < 0.25,
+                f"max shift {100 * rel:.1f}%",
+            )
+        )
+    return result
+
+
+ALL_FIGURES["sec5-varied-lengths"] = sec5_varied_lengths

@@ -1,0 +1,59 @@
+"""The paper's s-to-p broadcasting algorithms.
+
+Non-repositioning (§2): :class:`TwoStep`, :class:`PersAlltoAll`,
+:class:`BrLin`, :class:`BrXYSource`, :class:`BrXYDim`, plus the
+library-collective variants :class:`MPIAllGather` / :class:`MPIAlltoAll`
+and the uncoordinated :class:`NaiveIndependent` baseline §2 warns about.
+
+Repositioning and partitioning (§3): :class:`ReposLin`,
+:class:`ReposXYSource`, :class:`ReposXYDim`, :class:`PartLin`,
+:class:`PartXYSource`, :class:`PartXYDim`.
+
+Every algorithm compiles a :class:`~repro.core.schedule.Schedule`;
+:func:`get_algorithm` resolves registry names (paper spellings,
+case-insensitive: ``"Br_Lin"``, ``"2-Step"``, ``"MPI_AllGather"``, ...).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import (
+    ALGORITHMS,
+    BroadcastAlgorithm,
+    get_algorithm,
+    list_algorithms,
+    register,
+)
+from repro.core.algorithms.auto import AutoPredict
+from repro.core.algorithms.br_lin import BrLin
+from repro.core.algorithms.br_xy import BrXYDim, BrXYSource
+from repro.core.algorithms.mpi_coll import MPIAllGather, MPIAlltoAll
+from repro.core.algorithms.naive import NaiveIndependent
+from repro.core.algorithms.part import PartLin, PartXYDim, PartXYSource
+from repro.core.algorithms.pers_alltoall import PersAlltoAll
+from repro.core.algorithms.repos import ReposLin, ReposXYDim, ReposXYSource
+from repro.core.algorithms.ring import BrRing
+from repro.core.algorithms.two_step import TwoStep
+
+__all__ = [
+    "BroadcastAlgorithm",
+    "ALGORITHMS",
+    "register",
+    "get_algorithm",
+    "list_algorithms",
+    "TwoStep",
+    "PersAlltoAll",
+    "BrLin",
+    "BrXYSource",
+    "BrXYDim",
+    "MPIAllGather",
+    "MPIAlltoAll",
+    "NaiveIndependent",
+    "ReposLin",
+    "ReposXYSource",
+    "ReposXYDim",
+    "PartLin",
+    "PartXYSource",
+    "PartXYDim",
+    "BrRing",
+    "AutoPredict",
+]

@@ -1,0 +1,119 @@
+"""MPI library-collective algorithms: MPI_AllGather and MPI_Alltoall.
+
+These are the paper's "use the existing communication routines"
+variants: structurally identical to ``2-Step`` and ``PersAlltoAll``
+(§5.1 calls them "the MPI versions"), but issued through the machine's
+*library collective* tier:
+
+* on the Paragon that tier is ordinary sends with the measured MPI
+  penalty on top — so the MPI versions run slightly behind their NX
+  twins (Figure 3);
+* on the T3D the tier is the shmem fast path
+  (``collective_overhead_scale << 1``), which is why ``MPI_Alltoall``
+  — no combining, no waiting, tiny per-message software cost — wins
+  there (Figure 13), inverting the Paragon's ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.algorithms.base import BroadcastAlgorithm, register
+from repro.core.algorithms.pers_alltoall import build_pers_alltoall_schedule
+from repro.core.algorithms.two_step import build_two_step_schedule
+from repro.core.problem import BroadcastProblem
+from repro.core.schedule import Schedule, Transfer
+
+__all__ = ["MPIAllGather", "MPIAlltoAll", "build_pipelined_allgather_schedule"]
+
+
+def build_pipelined_allgather_schedule(
+    problem: BroadcastProblem, name: str, root: int = 0
+) -> Schedule:
+    """Vendor-optimised Allgatherv: flat gather + segmented ring broadcast.
+
+    The gather step is the same flat s-to-one of 2-Step — it keeps the
+    congestion at ``P0`` the paper observes (§5.3): all contributions
+    serialise on the root's ejection channel and receive path.  The
+    broadcast step is a *pipelined ring*: the root streams each gathered
+    message, split into ``collective_segment_bytes`` segments, along the
+    machine's linear order; every rank forwards segment *q* one hop per
+    round.  Gather and broadcast overlap through data-parallel
+    synchronisation, so spreading a fixed total over more sources
+    shortens the pipeline fill — the Figure-12 effect.
+    """
+    params = problem.machine.params
+    seg_size = params.collective_segment_bytes
+    schedule = Schedule(problem, algorithm=name)
+    gather = [
+        Transfer(src, root, frozenset((src,)))
+        for src in problem.sources
+        if src != root
+    ]
+    schedule.add_round(gather, label="gatherv", collective=True, mpi=True)
+    # The stream of (message, segment) items the ring carries, in source
+    # order (the order Allgatherv concatenates contributions).
+    stream: List[tuple] = []
+    for src in problem.sources:
+        size = problem.size_of(src)
+        nseg = max(1, math.ceil(size / seg_size))
+        base = size // nseg
+        for q in range(nseg):
+            seg_bytes = base + (size - base * nseg if q == nseg - 1 else 0)
+            stream.append((src, max(seg_bytes, 1)))
+    order = problem.machine.linear_order()
+    # Rotate so the ring starts at the root.
+    start = order.index(root)
+    ring = order[start:] + order[:start]
+    edges = list(zip(ring, ring[1:]))  # p-1 forwarding hops, no wrap
+    num_items = len(stream)
+    num_rounds = num_items + len(edges) - 1
+    for r in range(num_rounds):
+        transfers = []
+        for j, (u, v) in enumerate(edges):
+            q = r - j
+            if 0 <= q < num_items:
+                src_msg, seg_bytes = stream[q]
+                transfers.append(
+                    Transfer(u, v, frozenset((src_msg,)), nbytes_override=seg_bytes)
+                )
+        schedule.add_round(
+            transfers, label=f"ring-{r}", collective=True, mpi=True
+        )
+    return schedule
+
+
+@register
+class MPIAllGather(BroadcastAlgorithm):
+    """``MPI_Allgatherv`` of the s messages.
+
+    The internal structure follows the machine's
+    ``collective_style``: *monolithic* (gather at P0, combine,
+    binomial-broadcast the concatenation — the MPICH-reference style
+    the Paragon ran) or *pipelined* (flat gather overlapped with a
+    segmented ring broadcast — the Cray-optimised style).
+    """
+
+    name = "MPI_AllGather"
+    requires_mesh = False
+
+    def build_schedule(self, problem: BroadcastProblem) -> Schedule:
+        if problem.machine.params.collective_style == "pipelined":
+            return build_pipelined_allgather_schedule(problem, self.name)
+        return build_two_step_schedule(
+            problem, self.name, collective=True, mpi=True
+        )
+
+
+@register
+class MPIAlltoAll(BroadcastAlgorithm):
+    """``MPI_Alltoallv`` with the s messages personalized to all ranks."""
+
+    name = "MPI_Alltoall"
+    requires_mesh = False
+
+    def build_schedule(self, problem: BroadcastProblem) -> Schedule:
+        return build_pers_alltoall_schedule(
+            problem, self.name, collective=True, mpi=True
+        )

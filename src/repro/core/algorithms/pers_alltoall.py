@@ -1,0 +1,62 @@
+"""Algorithm PersAlltoAll (§2): personalized all-to-all exchange.
+
+Each source views its message as ``p - 1`` distinct copies and the
+machine performs a personalized all-to-all: ``p - 1`` permutation
+rounds, generated — following the coarse-grained mesh library of [8] —
+by the exclusive-or of processor indices when ``p`` is a power of two,
+and by cyclic offsets otherwise.  Non-sources have only "null messages"
+to contribute and send nothing (everyone knows the source positions, so
+no rank waits for a null).
+
+No combining ever happens: every round moves original ``L``-byte
+messages.  That gives the algorithm Figure 2's profile — O(1)
+congestion and wait, but O(p) sends per source — which is fatal on the
+Paragon's expensive software path and a *win* on the T3D, where
+``MPI_AlltoAll``'s fast collective tier turns the same structure into
+the best performer (Figure 13).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import BroadcastAlgorithm, register
+from repro.core.problem import BroadcastProblem
+from repro.core.schedule import Schedule, Transfer
+from repro.mpsim.collectives import xor_or_cyclic_partner
+
+__all__ = ["PersAlltoAll", "build_pers_alltoall_schedule"]
+
+
+def build_pers_alltoall_schedule(
+    problem: BroadcastProblem,
+    name: str,
+    collective: bool = False,
+    mpi: bool = False,
+) -> Schedule:
+    """The ``p - 1`` permutation rounds, with configurable overhead mode.
+
+    Shared by the NX ``PersAlltoAll`` and the vendor-collective
+    ``MPI_Alltoall``.
+    """
+    schedule = Schedule(problem, algorithm=name)
+    p = problem.p
+    for k in range(1, p):
+        transfers = []
+        for src in problem.sources:
+            dst, _ = xor_or_cyclic_partner(src, p, k)
+            if dst != src:
+                transfers.append(Transfer(src, dst, frozenset((src,))))
+        schedule.add_round(
+            transfers, label=f"perm-{k}", collective=collective, mpi=mpi
+        )
+    return schedule
+
+
+@register
+class PersAlltoAll(BroadcastAlgorithm):
+    """Personalized exchange over the native (NX) send path."""
+
+    name = "PersAlltoAll"
+    requires_mesh = False
+
+    def build_schedule(self, problem: BroadcastProblem) -> Schedule:
+        return build_pers_alltoall_schedule(problem, self.name)

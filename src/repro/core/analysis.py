@@ -1,0 +1,110 @@
+"""Analytic model of the Figure-2 parameters.
+
+Figure 2 of the paper tabulates five parameters for Algorithms 2-Step,
+PersAlltoAll and Br_Lin on the equal distribution of a ``p = 2^k``
+machine, distinguishing for Br_Lin whether ``s`` is a power of two.
+This module renders those asymptotic forms as concrete functions of
+``(p, s, L)`` so the Figure-2 bench can check that the *measured*
+counters (from :mod:`repro.metrics`) scale the same way — e.g. that
+2-Step's congestion grows linearly when ``s`` doubles while Br_Lin's
+stays constant.
+
+The values are asymptotic orders, not exact counts: comparisons divide
+out constants by looking at growth ratios across doubled parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import AlgorithmError
+
+__all__ = ["Figure2Row", "figure2_row", "FIGURE2_ALGORITHMS"]
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One row of Figure 2: the five parameters as numbers."""
+
+    algorithm: str
+    congestion: float
+    wait: float
+    send_recv: float
+    av_msg_lgth: float
+    av_act_proc: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "congestion": self.congestion,
+            "wait": self.wait,
+            "send_recv": self.send_recv,
+            "av_msg_lgth": self.av_msg_lgth,
+            "av_act_proc": self.av_act_proc,
+        }
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+def _two_step(p: int, s: int, L: int) -> Figure2Row:
+    """2-Step: O(s) congestion, O(1) wait, O(p) send/rec, O(sL), O(p/log p)."""
+    return Figure2Row("2-Step", s, 1, p, s * L, p / _log2(p))
+
+
+def _pers_alltoall(p: int, s: int, L: int) -> Figure2Row:
+    """PersAlltoAll: O(1) congestion/wait, O(p) send/rec, O(L), O(p)."""
+    return Figure2Row("PersAlltoAll", 1, 1, p, L, p)
+
+
+def _br_lin(p: int, s: int, L: int) -> Figure2Row:
+    """Br_Lin, distinguishing ``s`` a power of two (the slow-growth case).
+
+    For ``s = 2^l`` the first ``l/2`` iterations only merge messages at
+    the s sources (no growth): av_msg_lgth is O(sL) and
+    av_act_proc O(p/log p + s log s / log p).  Otherwise activity grows
+    faster and message length slower: O(sL/log p) and
+    O((p/log p) log s).
+    """
+    logp = _log2(p)
+    if s & (s - 1) == 0:  # power of two
+        return Figure2Row(
+            "Br_Lin(s=2^l)",
+            1,
+            logp,
+            logp,
+            s * L,
+            p / logp + s * _log2(s) / logp,
+        )
+    return Figure2Row(
+        "Br_Lin(s!=2^l)",
+        1,
+        logp,
+        logp,
+        s * L / logp,
+        (p / logp) * _log2(s),
+    )
+
+
+#: Figure-2 rows keyed by the paper's row labels.
+FIGURE2_ALGORITHMS: Dict[str, Callable[[int, int, int], Figure2Row]] = {
+    "2-Step": _two_step,
+    "PersAlltoAll": _pers_alltoall,
+    "Br_Lin": _br_lin,
+}
+
+
+def figure2_row(algorithm: str, p: int, s: int, L: int) -> Figure2Row:
+    """The analytic Figure-2 row for one algorithm at ``(p, s, L)``."""
+    try:
+        fn = FIGURE2_ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(FIGURE2_ALGORITHMS))
+        raise AlgorithmError(
+            f"Figure 2 covers only: {known} (got {algorithm!r})"
+        ) from None
+    if p <= 0 or not 1 <= s <= p or L <= 0:
+        raise AlgorithmError(f"invalid Figure-2 point p={p}, s={s}, L={L}")
+    return fn(p, s, L)

@@ -1,0 +1,77 @@
+"""Algorithm recommendation following the paper's conclusions (§5.2, §6).
+
+For the Paragon, §5.2 gives three conditions under which repositioning
+"gives a better and more predictable performance":
+
+1. the number of sources is moderate — ``s < p/2`` is the breakpoint;
+2. the machine is not too small — for ``p <= 16`` the algorithms and
+   distributions barely differ;
+3. the message length is between 1K and 16K.
+
+When all three hold, ``Repos_xy_source`` is recommended; otherwise the
+plain ``Br_xy_source`` (or ``Br_Lin`` off-mesh).  For the T3D the paper
+concludes that algorithms minimising *wait* cost and exploiting
+bandwidth win: ``MPI_Alltoall``.
+
+:func:`recommend` encodes exactly that decision procedure and returns
+the reasoning alongside the pick, so callers (and the quickstart
+example) can show *why*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.problem import BroadcastProblem
+
+__all__ = ["Recommendation", "recommend"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """An algorithm pick plus the §5.2 conditions that produced it."""
+
+    algorithm: str
+    reasons: List[str]
+    repositioning: bool
+
+
+def recommend(problem: BroadcastProblem) -> Recommendation:
+    """The paper's recommended algorithm for ``problem``.
+
+    Follows §5.2/§6 verbatim: on mesh machines with stable coordinates
+    (the Paragon), reposition when all three conditions hold; on
+    machines with uncontrolled placement and a collective fast path
+    (the T3D), use the library ``MPI_Alltoall``.
+    """
+    machine = problem.machine
+    reasons: List[str] = []
+    if not machine.is_mesh:
+        reasons.append(
+            "machine has no stable mesh coordinates (T3D-like): use the "
+            "library collective that minimises wait cost (§5.3)"
+        )
+        return Recommendation("MPI_Alltoall", reasons, repositioning=False)
+
+    s, p, L = problem.s, problem.p, problem.message_size
+    moderate_sources = s < p / 2
+    reasons.append(
+        f"s={s} {'<' if moderate_sources else '>='} p/2={p / 2:g}: "
+        f"condition 1 {'holds' if moderate_sources else 'fails'}"
+    )
+    big_enough = p > 16
+    reasons.append(
+        f"p={p} {'>' if big_enough else '<='} 16: "
+        f"condition 2 {'holds' if big_enough else 'fails'}"
+    )
+    good_length = 1024 <= L <= 16384
+    reasons.append(
+        f"L={L} {'inside' if good_length else 'outside'} [1K, 16K]: "
+        f"condition 3 {'holds' if good_length else 'fails'}"
+    )
+    if moderate_sources and big_enough and good_length:
+        reasons.append("all three §5.2 conditions hold: reposition")
+        return Recommendation("Repos_xy_source", reasons, repositioning=True)
+    reasons.append("not all conditions hold: broadcast in place")
+    return Recommendation("Br_xy_source", reasons, repositioning=False)

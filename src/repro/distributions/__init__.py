@@ -1,0 +1,49 @@
+"""Source distributions of §4 of the paper.
+
+Each distribution places ``s`` source processors on the machine's
+logical ``r x c`` grid (the physical mesh on the Paragon, the virtual
+near-square rank grid on the T3D) and returns their ranks.  The eight
+named distributions of the paper are provided — row ``R(s)``, column
+``C(s)``, equal ``E(s)``, right/left diagonal ``Dr(s)``/``Dl(s)``,
+band ``B(s)``, cross ``Cr(s)``, square block ``Sq(s)`` — plus a seeded
+uniform ``Random(s)`` used in the dynamic-broadcasting example.
+
+All placements are deterministic (``Random`` given its seed) and are
+exercised by property tests: exactly ``s`` distinct in-range ranks for
+every feasible ``(machine, s)``.
+"""
+
+from __future__ import annotations
+
+from repro.distributions.band import BandDistribution
+from repro.distributions.base import SourceDistribution
+from repro.distributions.cross import CrossDistribution
+from repro.distributions.diagonal import (
+    LeftDiagonalDistribution,
+    RightDiagonalDistribution,
+)
+from repro.distributions.equal import EqualDistribution
+from repro.distributions.random_dist import RandomDistribution
+from repro.distributions.registry import (
+    DISTRIBUTIONS,
+    get_distribution,
+    list_distributions,
+)
+from repro.distributions.row_col import ColumnDistribution, RowDistribution
+from repro.distributions.square import SquareBlockDistribution
+
+__all__ = [
+    "SourceDistribution",
+    "RowDistribution",
+    "ColumnDistribution",
+    "EqualDistribution",
+    "RightDiagonalDistribution",
+    "LeftDiagonalDistribution",
+    "BandDistribution",
+    "CrossDistribution",
+    "SquareBlockDistribution",
+    "RandomDistribution",
+    "DISTRIBUTIONS",
+    "get_distribution",
+    "list_distributions",
+]

@@ -1,0 +1,56 @@
+"""Band distribution — B(s) of §4.
+
+``B(s)`` generalises the right-diagonal distribution: it consists of
+``b = ceil(c/r)`` evenly distributed *bands*, each a block of
+``w = ceil(s/(b*r))`` adjacent right diagonals.  On a square mesh
+(``b = 1``) this is a single diagonal band of width ``ceil(s/r)``
+starting at the main diagonal — the case §5.2 calls "similar to an
+ideal distribution", which is why repositioning loses on it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.distributions.base import SourceDistribution
+
+__all__ = ["BandDistribution"]
+
+
+class BandDistribution(SourceDistribution):
+    """B(s): ``ceil(c/r)`` bands of adjacent right diagonals."""
+
+    key = "B"
+    label = "band"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        b = math.ceil(cols / rows)
+        width = math.ceil(s / (b * rows))
+        band_offsets = self.spaced_indices(b, cols)
+        # Expand bands into an ordered, duplicate-free list of diagonal
+        # offsets (wide bands on small meshes can wrap into each other).
+        diagonals: List[int] = []
+        seen = set()
+        for base in band_offsets:
+            for j in range(width):
+                offset = (base + j) % cols
+                if offset not in seen:
+                    seen.add(offset)
+                    diagonals.append(offset)
+        # Fill diagonal by diagonal (row-major within a diagonal); if the
+        # planned diagonals run short due to wrap collisions, continue
+        # with the remaining column offsets in order.
+        for offset in range(cols):
+            if offset not in seen:
+                diagonals.append(offset)
+        cells: List[Tuple[int, int]] = []
+        remaining = s
+        for offset in diagonals:
+            if remaining == 0:
+                break
+            take = min(rows, remaining)
+            for row in range(take):
+                cells.append((row, (offset + row) % cols))
+            remaining -= take
+        return cells

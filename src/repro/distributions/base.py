@@ -1,0 +1,89 @@
+"""Distribution base class and the grid helpers shared by all placements."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from repro.errors import DistributionError
+from repro.machines.machine import Machine
+
+__all__ = ["SourceDistribution"]
+
+
+class SourceDistribution(ABC):
+    """Places ``s`` sources on a machine's logical grid.
+
+    Subclasses implement :meth:`place` in grid coordinates; the base
+    class handles validation and coordinate→rank conversion.  Grid
+    coordinates are 0-based ``(row, col)`` over the machine's
+    ``logical_grid`` (the paper's 1-based ``(1,1)`` corner is our
+    ``(0, 0)``); ranks are row-major over that grid, which on the
+    Paragon coincides with physical node order.
+    """
+
+    #: Registry key; subclasses override (e.g. ``"R"`` for rows).
+    key: str = ""
+    #: Human-readable name used in reports.
+    label: str = ""
+
+    def generate(self, machine: Machine, s: int) -> Tuple[int, ...]:
+        """The ``s`` source ranks, sorted ascending.
+
+        Raises :class:`~repro.errors.DistributionError` for infeasible
+        ``s`` or if the subclass produced a malformed placement
+        (duplicate cells, out of range, wrong count) — placements are
+        always re-checked here so bugs surface loudly.
+        """
+        rows, cols = machine.logical_grid
+        p = machine.p
+        if not 1 <= s <= p:
+            raise DistributionError(
+                f"{self.name}: s must be in [1, {p}], got {s}"
+            )
+        cells = self.place(rows, cols, s)
+        if len(cells) != s:
+            raise DistributionError(
+                f"{self.name}: placed {len(cells)} cells, expected {s}"
+            )
+        ranks = []
+        seen = set()
+        for r, c in cells:
+            if not (0 <= r < rows and 0 <= c < cols):
+                raise DistributionError(
+                    f"{self.name}: cell ({r}, {c}) outside {rows}x{cols}"
+                )
+            rank = r * cols + c
+            if rank in seen:
+                raise DistributionError(
+                    f"{self.name}: duplicate cell ({r}, {c})"
+                )
+            seen.add(rank)
+            ranks.append(rank)
+        return tuple(sorted(ranks))
+
+    @abstractmethod
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        """Grid cells ``(row, col)`` for the ``s`` sources."""
+
+    @property
+    def name(self) -> str:
+        """Report name (label, falling back to the class name)."""
+        return self.label or type(self).__name__
+
+    @staticmethod
+    def spaced_indices(count: int, extent: int) -> List[int]:
+        """``count`` evenly spaced indices in ``[0, extent)``.
+
+        Index *j* sits at ``floor(j * extent / count)`` — for two rows
+        in ten this yields rows 0 and 5, reproducing the paper's R(20)
+        example on a 10x10 mesh.
+        """
+        if count > extent:
+            raise DistributionError(
+                f"cannot space {count} indices in extent {extent}"
+            )
+        return [(j * extent) // count for j in range(count)]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.key})>"

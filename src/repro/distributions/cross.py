@@ -1,0 +1,75 @@
+"""Cross distribution — Cr(s) of §4.
+
+A union of a row distribution and a column distribution with roughly
+half the sources in each part.  Full evenly spaced rows are placed
+first; evenly spaced columns are then filled top-to-bottom with the
+remaining sources, skipping cells already occupied by the rows (the
+last column may be partial — Figure 1's Cr(30) on a 10x10 mesh has two
+full rows and two partial columns).
+
+Crosses are hard for the ``Br_xy_*`` algorithms: whichever dimension
+goes first, the perpendicular part of the cross floods single
+rows/columns with many sources while most lines stay empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.distributions.base import SourceDistribution
+from repro.errors import DistributionError
+
+__all__ = ["CrossDistribution"]
+
+
+class CrossDistribution(SourceDistribution):
+    """Cr(s): union of ~s/2 sources in rows and ~s/2 in columns."""
+
+    key = "Cr"
+    label = "cross"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        # Rows first: as many full evenly spaced rows as fit in s/2,
+        # at least one when s allows a full row at all.
+        n_rows = max(1, round((s / 2) / cols)) if s >= cols else 0
+        n_rows = min(n_rows, rows)
+        while n_rows > 0 and n_rows * cols > s:
+            n_rows -= 1
+        chosen_rows = self.spaced_indices(n_rows, rows) if n_rows else []
+        occupied = set()
+        cells: List[Tuple[int, int]] = []
+        for row in chosen_rows:
+            for col in range(cols):
+                occupied.add((row, col))
+                cells.append((row, col))
+        remaining = s - len(cells)
+        # Columns: evenly spaced, filled top-to-bottom, skipping the rows.
+        n_cols = min(cols, max(1, -(-remaining // max(rows - n_rows, 1))))
+        chosen_cols = self.spaced_indices(n_cols, cols)
+        for col in chosen_cols:
+            for row in range(rows):
+                if remaining == 0:
+                    return cells
+                cell = (row, col)
+                if cell in occupied:
+                    continue
+                occupied.add(cell)
+                cells.append(cell)
+                remaining -= 1
+        # Overflow beyond the planned cross (s close to p): fill the
+        # remaining grid row-major so every feasible s has a placement.
+        for row in range(rows):
+            for col in range(cols):
+                if remaining == 0:
+                    return cells
+                cell = (row, col)
+                if cell in occupied:
+                    continue
+                occupied.add(cell)
+                cells.append(cell)
+                remaining -= 1
+        if remaining:
+            raise DistributionError(
+                f"cross: could not place {remaining} of {s} sources"
+            )
+        return cells

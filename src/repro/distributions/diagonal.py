@@ -1,0 +1,66 @@
+"""Right and left diagonal distributions — Dr(s) and Dl(s) of §4.
+
+A *right* diagonal starting at column offset ``o`` is the cell set
+``{(row, (o + row) mod c) : row in [0, r)}`` — it runs down-and-right
+with wraparound.  ``Dr(s)`` uses ``i = ceil(s/r)`` such diagonals: the
+main one (offset 0, i.e. from (0,0) to (r-1,r-1)) plus ``i-1`` more at
+evenly spaced offsets; the last diagonal may be partial.  ``Dl(s)``
+mirrors columns: its first diagonal runs from (0, c-1) down to
+(r-1, c-r), i.e. down-and-left.
+
+The paper places one source per row per diagonal, so each diagonal
+holds at most ``r`` sources — which is why diagonal distributions put
+the *same* number of sources in every row and (for ``s`` a multiple of
+``r``) spread them across columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.distributions.base import SourceDistribution
+
+__all__ = ["RightDiagonalDistribution", "LeftDiagonalDistribution"]
+
+
+def _diagonal_cells(
+    rows: int, cols: int, s: int, direction: int, start_col: int
+) -> List[Tuple[int, int]]:
+    """Cells of ``ceil(s/rows)`` spaced diagonals, ``s`` cells in total.
+
+    ``direction`` is +1 for right (down-right) diagonals, -1 for left.
+    Diagonal ``d`` starts at column ``start_col + direction * offset_d``
+    (mod ``cols``) with offsets evenly spaced over the columns.
+    """
+    i = math.ceil(s / rows)
+    offsets = SourceDistribution.spaced_indices(i, cols)
+    cells: List[Tuple[int, int]] = []
+    remaining = s
+    for offset in offsets:
+        take = min(rows, remaining)
+        for row in range(take):
+            col = (start_col + direction * (offset + row)) % cols
+            cells.append((row, col))
+        remaining -= take
+    return cells
+
+
+class RightDiagonalDistribution(SourceDistribution):
+    """Dr(s): diagonals running down-and-right, main diagonal included."""
+
+    key = "Dr"
+    label = "right diagonal"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        return _diagonal_cells(rows, cols, s, direction=+1, start_col=0)
+
+
+class LeftDiagonalDistribution(SourceDistribution):
+    """Dl(s): diagonals running down-and-left from (0, c-1)."""
+
+    key = "Dl"
+    label = "left diagonal"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        return _diagonal_cells(rows, cols, s, direction=-1, start_col=cols - 1)

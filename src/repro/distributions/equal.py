@@ -1,0 +1,29 @@
+"""Equal distribution — E(s) of §4.
+
+Processor (0, 0) is a source and every ``ceil(p/s)``-th or
+``floor(p/s)``-th processor (in row-major order) is a source: source
+*j* sits at linear index ``floor(j * p / s)``, which interleaves the
+two spacings exactly as the paper describes.  Depending on ``s`` and
+the grid shape, E(s) degenerates into row-, column-, or diagonal-like
+patterns — the effect behind the Figure-8 "anomaly" where s = 15
+outruns s = 8 on some 120-node shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.distributions.base import SourceDistribution
+
+__all__ = ["EqualDistribution"]
+
+
+class EqualDistribution(SourceDistribution):
+    """E(s): sources evenly spaced in row-major rank order."""
+
+    key = "E"
+    label = "equal"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        p = rows * cols
+        return [divmod((j * p) // s, cols) for j in range(s)]

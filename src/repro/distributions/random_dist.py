@@ -1,0 +1,36 @@
+"""Seeded uniform random distribution.
+
+Not one of the paper's named §4 distributions, but §5.3 conjectures
+that "a random distribution appears to be a good choice for the T3D";
+this class lets the T3D benchmarks and the dynamic-broadcasting example
+test that conjecture directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.distributions.base import SourceDistribution
+
+__all__ = ["RandomDistribution"]
+
+
+class RandomDistribution(SourceDistribution):
+    """Rnd(s): ``s`` sources drawn uniformly without replacement."""
+
+    key = "Rnd"
+    label = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        rng = np.random.default_rng(self.seed)
+        picks = rng.choice(rows * cols, size=s, replace=False)
+        return [divmod(int(idx), cols) for idx in picks]
+
+    @property
+    def name(self) -> str:
+        return f"random(seed={self.seed})"

@@ -1,0 +1,53 @@
+"""Name → distribution lookup used by the bench harness and CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.distributions.band import BandDistribution
+from repro.distributions.base import SourceDistribution
+from repro.distributions.cross import CrossDistribution
+from repro.distributions.diagonal import (
+    LeftDiagonalDistribution,
+    RightDiagonalDistribution,
+)
+from repro.distributions.equal import EqualDistribution
+from repro.distributions.random_dist import RandomDistribution
+from repro.distributions.row_col import ColumnDistribution, RowDistribution
+from repro.distributions.square import SquareBlockDistribution
+from repro.errors import DistributionError
+
+__all__ = ["DISTRIBUTIONS", "get_distribution", "list_distributions"]
+
+#: The paper's eight §4 distributions plus the random baseline,
+#: keyed by the paper's abbreviations.
+DISTRIBUTIONS: Dict[str, SourceDistribution] = {
+    dist.key: dist
+    for dist in (
+        RowDistribution(),
+        ColumnDistribution(),
+        EqualDistribution(),
+        RightDiagonalDistribution(),
+        LeftDiagonalDistribution(),
+        BandDistribution(),
+        CrossDistribution(),
+        SquareBlockDistribution(),
+        RandomDistribution(),
+    )
+}
+
+
+def get_distribution(key: str) -> SourceDistribution:
+    """Distribution by paper abbreviation (``"R"``, ``"Dr"``, ...)."""
+    try:
+        return DISTRIBUTIONS[key]
+    except KeyError:
+        known = ", ".join(sorted(DISTRIBUTIONS))
+        raise DistributionError(
+            f"unknown distribution {key!r}; known: {known}"
+        ) from None
+
+
+def list_distributions() -> List[str]:
+    """All registered distribution keys, sorted."""
+    return sorted(DISTRIBUTIONS)

@@ -1,0 +1,51 @@
+"""Row and column distributions — R(s) and C(s) of §4.
+
+``R(s)``: ``i = ceil(s / c)`` evenly spaced rows hold the sources;
+every chosen row except possibly the last is completely filled.
+``C(s)`` is the transpose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.distributions.base import SourceDistribution
+
+__all__ = ["RowDistribution", "ColumnDistribution"]
+
+
+class RowDistribution(SourceDistribution):
+    """R(s): sources fill ``ceil(s/c)`` evenly spaced rows."""
+
+    key = "R"
+    label = "row"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        i = math.ceil(s / cols)
+        chosen = self.spaced_indices(i, rows)
+        cells: List[Tuple[int, int]] = []
+        remaining = s
+        for row in chosen:
+            take = min(cols, remaining)
+            cells.extend((row, col) for col in range(take))
+            remaining -= take
+        return cells
+
+
+class ColumnDistribution(SourceDistribution):
+    """C(s): sources fill ``ceil(s/r)`` evenly spaced columns."""
+
+    key = "C"
+    label = "column"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        i = math.ceil(s / rows)
+        chosen = self.spaced_indices(i, cols)
+        cells: List[Tuple[int, int]] = []
+        remaining = s
+        for col in chosen:
+            take = min(rows, remaining)
+            cells.extend((row, col) for row in range(take))
+            remaining -= take
+        return cells

@@ -1,0 +1,49 @@
+"""Square block distribution — Sq(s) of §4.
+
+The sources sit in a ``ceil(sqrt(s)) x ceil(sqrt(s))`` block whose
+top-left corner is (0, 0), filled column by column.  When the block
+would not fit the grid vertically (or horizontally) its shape is
+clamped and widened/deepened accordingly, so every feasible ``s``
+places.
+
+Square blocks are the worst case for the ``Br_xy_*`` algorithms: only
+``ceil(sqrt(s))`` rows and columns contain sources, so few lines can
+generate new sources in the first dimension — the Figure 6 spike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.distributions.base import SourceDistribution
+
+__all__ = ["SquareBlockDistribution"]
+
+
+class SquareBlockDistribution(SourceDistribution):
+    """Sq(s): a near-square block at the grid's top-left corner."""
+
+    key = "Sq"
+    label = "square block"
+
+    def place(self, rows: int, cols: int, s: int) -> List[Tuple[int, int]]:
+        side = math.ceil(math.sqrt(s))
+        height = min(side, rows)
+        width = min(math.ceil(s / height), cols)
+        # Widen (then deepen) until the block holds s cells; feasibility
+        # (s <= rows * cols) is guaranteed by the base-class check.
+        while height * width < s:
+            if width < cols:
+                width += 1
+            else:
+                height += 1
+        cells: List[Tuple[int, int]] = []
+        remaining = s
+        for col in range(width):
+            take = min(height, remaining)
+            cells.extend((row, col) for row in range(take))
+            remaining -= take
+            if remaining == 0:
+                break
+        return cells

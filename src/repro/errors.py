@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "RoutingError",
+    "TopologyError",
+    "CommError",
+    "MatchingError",
+    "ConfigurationError",
+    "DistributionError",
+    "AlgorithmError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    This is the simulator's analogue of an MPI hang: some process is
+    waiting on a message or link grant that can never arrive.  The error
+    message lists the blocked processes and what each was waiting for.
+    """
+
+
+class TopologyError(ReproError):
+    """An interconnect topology was constructed or queried inconsistently."""
+
+
+class RoutingError(TopologyError):
+    """A route could not be produced between two nodes."""
+
+
+class CommError(ReproError):
+    """Misuse of the message-passing layer (bad rank, bad tag, ...)."""
+
+
+class MatchingError(CommError):
+    """A receive could not be matched against the message that arrived."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid machine or experiment configuration."""
+
+
+class DistributionError(ReproError):
+    """A source distribution was asked for an impossible placement."""
+
+
+class AlgorithmError(ReproError):
+    """A broadcasting algorithm was invoked on an unsupported problem."""
+
+
+class VerificationError(ReproError):
+    """Post-run verification failed: some processor is missing messages."""

@@ -1,0 +1,221 @@
+"""The simulated machine: topology + parameters + rank mapping + run loop.
+
+A :class:`Machine` is a lightweight, reusable *configuration*; each call
+to :meth:`Machine.run` builds a fresh engine/fabric/world, spawns one
+simulated process per rank, runs to completion, and returns a
+:class:`RunResult` with the elapsed virtual time and the collected
+metrics.  Runs are bit-deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machines.params import MachineParams
+from repro.metrics.report import MetricsReport
+from repro.mpsim.comm import Comm, World
+from repro.network.fabric import Fabric
+from repro.network.mapping import IdentityMapping, RankMapping
+from repro.network.mesh import Mesh2D
+from repro.network.topology import Topology
+from repro.simulator.engine import Engine
+from repro.simulator.trace import Tracer
+
+__all__ = ["Machine", "RunResult"]
+
+#: A per-rank SPMD program: takes this rank's communicator, yields events.
+ProgramFactory = Callable[[Comm], Generator[Any, Any, Any]]
+#: Builds the rank mapping for a run (seed-dependent on the T3D).
+MappingFactory = Callable[[Topology, int], RankMapping]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one machine run.
+
+    ``elapsed_us`` is the virtual time at which the last rank finished —
+    the quantity the paper's figures plot.  ``returns`` holds each
+    rank's program return value (the broadcasting executor returns the
+    set of messages the rank ended up holding, which verification
+    checks).
+    """
+
+    elapsed_us: float
+    metrics: MetricsReport
+    returns: Tuple[Any, ...]
+    fabric_transfers: int
+    fabric_link_wait: float
+    link_utilization: float
+
+
+class Machine:
+    """A simulated message-passing machine.
+
+    Parameters
+    ----------
+    topology:
+        Physical interconnect.
+    params:
+        Timing parameters (see :class:`~repro.machines.params.MachineParams`).
+    mapping_factory:
+        Builds the rank→node mapping for a run; defaults to identity
+        (ranks in node order, the Paragon submesh convention).
+    kind:
+        Free-form family tag (``"paragon"``, ``"t3d"``, ``"test"``)
+        used by algorithms to check applicability.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: MachineParams,
+        mapping_factory: Optional[MappingFactory] = None,
+        kind: str = "generic",
+    ) -> None:
+        self.topology = topology
+        self.params = params
+        self.kind = kind
+        self._mapping_factory: MappingFactory = (
+            mapping_factory
+            if mapping_factory is not None
+            else (lambda topo, seed: IdentityMapping(topo))
+        )
+        self._stable_ranks: Optional[bool] = None
+
+    # -- shape helpers -----------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of processors (ranks)."""
+        return self.topology.num_nodes
+
+    @property
+    def is_mesh(self) -> bool:
+        """Whether the machine is a 2-D mesh with topology-stable ranks."""
+        return isinstance(self.topology, Mesh2D) and self.topology_stable_ranks
+
+    @property
+    def topology_stable_ranks(self) -> bool:
+        """True when rank→node does not depend on the run seed.
+
+        Algorithms may exploit mesh coordinates only on such machines
+        (the Paragon); the T3D's random mapping makes coordinates
+        meaningless to the application.
+        """
+        if self._stable_ranks is None:
+            probe = self._mapping_factory(self.topology, 0)
+            self._stable_ranks = isinstance(probe, IdentityMapping)
+        return self._stable_ranks
+
+    @property
+    def mesh_shape(self) -> Tuple[int, int]:
+        """``(rows, cols)`` of a mesh machine."""
+        if not isinstance(self.topology, Mesh2D):
+            raise ConfigurationError(f"{self!r} is not a 2-D mesh machine")
+        return (self.topology.rows, self.topology.cols)
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """Mesh ``(row, col)`` of ``rank`` (identity-mapped meshes only)."""
+        if not self.is_mesh:
+            raise ConfigurationError(
+                "mesh coordinates are only meaningful on identity-mapped meshes"
+            )
+        assert isinstance(self.topology, Mesh2D)
+        return self.topology.coords(rank)
+
+    def rank_at(self, row: int, col: int) -> int:
+        """Rank at mesh coordinate (identity-mapped meshes only)."""
+        if not self.is_mesh:
+            raise ConfigurationError(
+                "mesh coordinates are only meaningful on identity-mapped meshes"
+            )
+        assert isinstance(self.topology, Mesh2D)
+        return self.topology.node_at(row, col)
+
+    @property
+    def logical_grid(self) -> Tuple[int, int]:
+        """``(rows, cols)`` grid on which source distributions are defined.
+
+        §4 of the paper defines every distribution on an ``r x c`` mesh
+        with ``r <= c``.  On a physical mesh this is the mesh itself;
+        on the T3D (whose physical layout the user cannot see) it is
+        the most nearly square factorisation of ``p`` with ``r <= c`` —
+        the "virtual mesh" of ranks in row-major order.
+        """
+        if isinstance(self.topology, Mesh2D):
+            return (self.topology.rows, self.topology.cols)
+        p = self.p
+        r = int(p**0.5)
+        while r > 1 and p % r != 0:
+            r -= 1
+        return (r, p // r)
+
+    def linear_order(self) -> List[int]:
+        """Rank sequence realising the paper's linear-array view.
+
+        On an identity-mapped mesh this is the snake-like row-major
+        order (consecutive positions are physical neighbours); on other
+        machines it is simply rank order — on the T3D the user cannot
+        do better, which is precisely the paper's point.
+        """
+        if self.is_mesh:
+            assert isinstance(self.topology, Mesh2D)
+            topo = self.topology
+            order: List[int] = []
+            for r in range(topo.rows):
+                cols = (
+                    range(topo.cols)
+                    if r % 2 == 0
+                    else range(topo.cols - 1, -1, -1)
+                )
+                order.extend(topo.node_at(r, c) for c in cols)
+            return order
+        return list(range(self.p))
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self,
+        program_factory: ProgramFactory,
+        *,
+        seed: int = 0,
+        contention: bool = True,
+        tracer: Optional[Tracer] = None,
+        until: Optional[float] = None,
+    ) -> RunResult:
+        """Run one SPMD program on all ranks; returns timing and metrics.
+
+        ``program_factory(comm)`` is called once per rank with that
+        rank's world communicator and must return a generator.
+        """
+        engine = Engine(tracer=tracer)
+        fabric = Fabric(
+            self.topology,
+            t_byte=self.params.t_byte,
+            t_hop=self.params.t_hop,
+            route_setup=self.params.route_setup,
+            contention=contention,
+            switching=self.params.switching,
+        )
+        mapping = self._mapping_factory(self.topology, seed)
+        world = World(engine, fabric, self.params, mapping)
+        processes = [
+            engine.process(program_factory(world.comm(rank)), name=f"rank{rank}")
+            for rank in range(self.p)
+        ]
+        engine.run(until=until)
+        elapsed = engine.now
+        return RunResult(
+            elapsed_us=elapsed,
+            metrics=MetricsReport.from_collector(world.metrics),
+            returns=tuple(proc.value for proc in processes),
+            fabric_transfers=fabric.transfers,
+            fabric_link_wait=fabric.total_link_wait,
+            link_utilization=fabric.link_utilization(until=elapsed),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {self.params.name} kind={self.kind} "
+            f"topology={self.topology!r}>"
+        )

@@ -1,0 +1,16 @@
+"""Measurement of the paper's five algorithm/distribution parameters.
+
+Figure 2 of the paper characterises algorithms by *congestion*, *wait*,
+*#send/rec*, *av_msg_lgth*, and *av_act_proc*.  The
+:class:`~repro.metrics.counters.MetricsCollector` accumulates raw
+per-rank, per-iteration counters as the communication layer executes,
+and :class:`~repro.metrics.report.MetricsReport` reduces them to those
+five quantities (plus totals useful for debugging and ablations).
+"""
+
+from __future__ import annotations
+
+from repro.metrics.counters import MetricsCollector, RankCounters
+from repro.metrics.report import MetricsReport
+
+__all__ = ["MetricsCollector", "RankCounters", "MetricsReport"]

@@ -1,0 +1,33 @@
+"""Simulated message-passing layer (the NX / MPI substitute).
+
+Algorithms are written against :class:`~repro.mpsim.comm.Comm`, whose
+API mirrors the subset of NX/MPI the paper uses:
+
+* ``send`` / ``recv`` — blocking point-to-point with (source, tag)
+  matching and MPI non-overtaking semantics,
+* ``isend`` — non-blocking send returning a
+  :class:`~repro.mpsim.requests.Request`,
+* sub-communicators over arbitrary rank subsets (rows, columns,
+  machine halves), and
+* library collectives in :mod:`repro.mpsim.collectives` (barrier,
+  bcast, gather(v), allgather(v), alltoall(v)) implemented — like real
+  MPI libraries — on top of point-to-point, but charged the machine's
+  *collective* overhead scale (the T3D's shmem fast path).
+
+Because every operation is a generator that yields simulator events,
+algorithm code reads like SPMD message-passing code::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, payload, nbytes=1024)
+        elif comm.rank == 1:
+            msg = yield from comm.recv(source=0)
+"""
+
+from __future__ import annotations
+
+from repro.mpsim.comm import ANY_SOURCE, ANY_TAG, Comm, World
+from repro.mpsim.envelope import Envelope
+from repro.mpsim.requests import Request
+
+__all__ = ["World", "Comm", "Envelope", "Request", "ANY_SOURCE", "ANY_TAG"]

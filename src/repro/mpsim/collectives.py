@@ -1,0 +1,387 @@
+"""Library collectives built over point-to-point, as real MPI libraries are.
+
+Every function here is an SPMD generator: all ranks of the
+communicator's group must call it (with consistent arguments), and each
+rank ``yield from``-s it inside its program.  Overheads are charged in
+*collective* mode — the caller's communicator is switched with
+``comm.with_mode(collective=True)`` internally, so on the T3D these
+operations ride the cheap shmem tier while hand-written send/recv code
+does not (see :mod:`repro.machines.t3d`).
+
+Implementations follow the classical patterns the 1990s libraries used:
+
+* ``barrier`` — dissemination (ceil(log2 p) rounds);
+* ``bcast`` — binomial tree rooted anywhere;
+* ``gather`` / ``gatherv`` — *flat* sends to the root.  This is
+  deliberately the naive pattern: the paper attributes
+  ``MPI_AllGather``'s cost on both machines to congestion at the
+  gathering processor, which only a flat gather exhibits;
+* ``allgatherv`` — flat gather followed by a binomial bcast of the
+  concatenation (the "2-Step" structure of the paper);
+* ``alltoall`` — ``p - 1`` rounds of XOR (power-of-two group) or cyclic
+  permutations, the schedule of Hambrusch, Hameed & Khokhar [8].
+
+Tags: every collective call derives its tags from ``tag_base``; callers
+nesting collectives must pass distinct bases (the broadcasting
+algorithms use disjoint tag spaces per phase).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import CommError
+from repro.mpsim.comm import Comm
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "gather",
+    "gatherv",
+    "allgatherv",
+    "ring_allgather",
+    "scatter",
+    "reduce",
+    "allreduce",
+    "alltoall",
+    "xor_or_cyclic_partner",
+]
+
+#: Default tag bases, spaced so nested phases never collide.
+_TAG_BARRIER = 1 << 20
+_TAG_BCAST = 1 << 21
+_TAG_GATHER = 1 << 22
+_TAG_ALLTOALL = 1 << 23
+_TAG_SCATTER = 1 << 24
+_TAG_REDUCE = 1 << 25
+_TAG_RING = 1 << 26
+
+
+def _ceil_log2(n: int) -> int:
+    """Smallest k with 2**k >= n (0 for n <= 1)."""
+    return max(n - 1, 0).bit_length()
+
+
+def barrier(comm: Comm, tag_base: int = _TAG_BARRIER) -> Generator[Any, Any, None]:
+    """Dissemination barrier: no rank leaves before every rank has entered."""
+    lib = comm.with_mode(collective=True)
+    size = lib.size
+    rank = lib.rank
+    for k in range(_ceil_log2(size)):
+        dist = 1 << k
+        dst = (rank + dist) % size
+        src = (rank - dist) % size
+        request = yield from lib.isend(dst, None, nbytes=0, tag=tag_base + k)
+        yield from lib.recv(source=src, tag=tag_base + k)
+        yield from request.wait()
+
+
+def bcast(
+    comm: Comm,
+    payload: Any,
+    nbytes: int,
+    root: int = 0,
+    tag_base: int = _TAG_BCAST,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree broadcast; returns the payload on every rank.
+
+    The tree is the linear-array halving pattern of the paper's
+    one-to-all step: the root sends to the rank ``size/2`` away, then
+    each half recurses — expressed here in the standard virtual-rank
+    mask form, which yields the identical communication structure.
+    """
+    lib = comm.with_mode(collective=True)
+    size = lib.size
+    vrank = (lib.rank - root) % size
+    data = payload
+    # Non-roots receive exactly once, at the mask of their lowest set bit.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = ((vrank - mask) + root) % size
+            envelope = yield from lib.recv(source=src, tag=tag_base + mask)
+            data = envelope.payload
+            break
+        mask <<= 1
+    # Fan out to sub-tree leaders at every mask below the receive mask.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dst = (vrank + mask + root) % size
+            yield from lib.send(dst, data, nbytes=nbytes, tag=tag_base + mask)
+        mask >>= 1
+    return data
+
+
+def gather(
+    comm: Comm,
+    payload: Any,
+    nbytes: int,
+    root: int = 0,
+    tag_base: int = _TAG_GATHER,
+) -> Generator[Any, Any, Optional[List[Any]]]:
+    """Flat gather: every non-root sends directly to the root.
+
+    Returns the list of payloads in rank order at the root, ``None``
+    elsewhere.  The serialisation of arrivals on the root's ejection
+    channel is the congestion the paper's Figure 2 charges to *2-Step*.
+    """
+    lib = comm.with_mode(collective=True)
+    if lib.rank != root:
+        yield from lib.send(root, payload, nbytes=nbytes, tag=tag_base)
+        return None
+    items: List[Any] = [None] * lib.size
+    items[root] = payload
+    for src in range(lib.size):
+        if src == root:
+            continue
+        envelope = yield from lib.recv(source=src, tag=tag_base)
+        items[src] = envelope.payload
+    return items
+
+
+def gatherv(
+    comm: Comm,
+    payload: Any,
+    nbytes: int,
+    counts: Sequence[int],
+    root: int = 0,
+    tag_base: int = _TAG_GATHER,
+) -> Generator[Any, Any, Optional[List[Any]]]:
+    """Flat gather with per-rank byte counts; zero-count ranks send nothing.
+
+    ``counts[r]`` is the byte count rank ``r`` contributes (must equal
+    ``nbytes`` on the calling rank).  This is the s-to-one step of the
+    paper's 2-Step algorithm: only the ``s`` sources transmit.
+    """
+    lib = comm.with_mode(collective=True)
+    if len(counts) != lib.size:
+        raise CommError(
+            f"gatherv needs {lib.size} counts, got {len(counts)}"
+        )
+    if counts[lib.rank] != nbytes:
+        raise CommError(
+            f"rank {lib.rank}: nbytes {nbytes} != counts[rank] {counts[lib.rank]}"
+        )
+    if lib.rank != root:
+        if nbytes > 0:
+            yield from lib.send(root, payload, nbytes=nbytes, tag=tag_base)
+        return None
+    items: List[Any] = [None] * lib.size
+    items[root] = payload if nbytes > 0 else None
+    for src in range(lib.size):
+        if src == root or counts[src] == 0:
+            continue
+        envelope = yield from lib.recv(source=src, tag=tag_base)
+        items[src] = envelope.payload
+    return items
+
+
+def allgatherv(
+    comm: Comm,
+    payload: Any,
+    nbytes: int,
+    counts: Sequence[int],
+    tag_base: int = _TAG_GATHER,
+) -> Generator[Any, Any, List[Any]]:
+    """Flat gather to rank 0 followed by a binomial bcast of the result.
+
+    This is the gather+broadcast structure the paper identifies inside
+    ``MPI_AllGather`` ("the congestion arising at processor P0", §5.3).
+    Returns the payload list (rank order, ``None`` for zero-count
+    ranks) on every rank.
+    """
+    items = yield from gatherv(comm, payload, nbytes, counts, root=0, tag_base=tag_base)
+    total = sum(counts)
+    items = yield from bcast(comm, items, total, root=0, tag_base=tag_base + comm.size + 1)
+    return items
+
+
+def xor_or_cyclic_partner(rank: int, size: int, round_index: int) -> Tuple[int, int]:
+    """``(dest, source)`` partners for one personalized-exchange round.
+
+    Power-of-two groups use the XOR permutations of [8] (dest == source
+    each round); other sizes fall back to cyclic offsets.
+    ``round_index`` runs from 1 to ``size - 1``.
+    """
+    if not 1 <= round_index < size:
+        raise CommError(f"round index {round_index} outside [1, {size})")
+    if size & (size - 1) == 0:
+        partner = rank ^ round_index
+        return partner, partner
+    return (rank + round_index) % size, (rank - round_index) % size
+
+
+def alltoall(
+    comm: Comm,
+    payloads: Sequence[Any],
+    counts: Sequence[Sequence[int]],
+    tag_base: int = _TAG_ALLTOALL,
+) -> Generator[Any, Any, List[Any]]:
+    """Personalized all-to-all as ``size - 1`` permutation rounds.
+
+    ``payloads[d]`` / ``counts[r][d]`` describe what rank ``r`` sends to
+    rank ``d`` (zero-byte entries are "null messages" and are skipped —
+    every rank knows the full ``counts`` matrix, mirroring the paper's
+    assumption that source positions are known).  Returns the received
+    payloads indexed by source; a rank's own slot keeps its own payload.
+    """
+    lib = comm.with_mode(collective=True)
+    size = lib.size
+    rank = lib.rank
+    if len(payloads) != size or len(counts) != size:
+        raise CommError("alltoall needs size-length payloads and counts")
+    result: List[Any] = [None] * size
+    result[rank] = payloads[rank]
+    for k in range(1, size):
+        dst, src = xor_or_cyclic_partner(rank, size, k)
+        request = None
+        if counts[rank][dst] > 0 and dst != rank:
+            request = yield from lib.isend(
+                dst, payloads[dst], nbytes=counts[rank][dst], tag=tag_base + k
+            )
+        if counts[src][rank] > 0 and src != rank:
+            envelope = yield from lib.recv(source=src, tag=tag_base + k)
+            result[src] = envelope.payload
+        if request is not None:
+            yield from request.wait()
+    return result
+
+
+def scatter(
+    comm: Comm,
+    payloads: Optional[Sequence[Any]],
+    nbytes_each: int,
+    root: int = 0,
+    tag_base: int = _TAG_SCATTER,
+) -> Generator[Any, Any, Any]:
+    """Binomial scatter: the root distributes one item to every rank.
+
+    ``payloads`` (rank-indexed, significant at the root only) is split
+    recursively: at each mask step a sub-tree leader forwards the
+    half of the items destined beyond the mask, so the root transmits
+    ``O(p * nbytes_each)`` bytes total but over only ``log p`` sends.
+    Returns this rank's item.
+    """
+    lib = comm.with_mode(collective=True)
+    size = lib.size
+    vrank = (lib.rank - root) % size
+    # Receive my bundle (a dict vrank -> payload), then split it down.
+    if vrank == 0:
+        if payloads is None or len(payloads) != size:
+            raise CommError("scatter root needs one payload per rank")
+        bundle = {v: payloads[(v + root) % size] for v in range(size)}
+    else:
+        mask = 1
+        while not vrank & mask:
+            mask <<= 1
+        src = ((vrank - mask) + root) % size
+        envelope = yield from lib.recv(source=src, tag=tag_base + mask)
+        bundle = envelope.payload
+    # Forward the sub-bundles to my children (top-down masks).
+    mask = 1
+    while mask < size:
+        if vrank & (mask - 1):
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child = vrank + mask
+        if child < size and not vrank & mask:
+            sub = {v: item for v, item in bundle.items() if v >= child}
+            sub = {v: item for v, item in sub.items() if v < child + mask}
+            if sub:
+                dst = (child + root) % size
+                yield from lib.send(
+                    dst,
+                    sub,
+                    nbytes=nbytes_each * len(sub),
+                    tag=tag_base + mask,
+                )
+                for v in sub:
+                    bundle.pop(v, None)
+        mask >>= 1
+    return bundle[vrank]
+
+
+def ring_allgather(
+    comm: Comm,
+    payload: Any,
+    nbytes: int,
+    tag_base: int = _TAG_RING,
+) -> Generator[Any, Any, List[Any]]:
+    """Ring allgather: ``p - 1`` rounds, each rank forwards what it got.
+
+    The bandwidth-optimal large-message pattern (every rank sends and
+    receives exactly ``(p-1) * nbytes``); complements the flat
+    gather+bcast ``allgatherv`` the paper associates with the vendor
+    library.
+    """
+    lib = comm.with_mode(collective=True)
+    size = lib.size
+    rank = lib.rank
+    items: List[Any] = [None] * size
+    items[rank] = payload
+    current = (rank, payload)
+    for k in range(size - 1):
+        dst = (rank + 1) % size
+        src = (rank - 1) % size
+        request = yield from lib.isend(
+            dst, current, nbytes=nbytes, tag=tag_base + k
+        )
+        envelope = yield from lib.recv(source=src, tag=tag_base + k)
+        yield from request.wait()
+        origin, item = envelope.payload
+        items[origin] = item
+        current = (origin, item)
+    return items
+
+
+def reduce(
+    comm: Comm,
+    value: Any,
+    nbytes: int,
+    op,
+    root: int = 0,
+    tag_base: int = _TAG_REDUCE,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree reduction with operator ``op(a, b)``.
+
+    Returns the reduction at the root, ``None`` elsewhere.  Combining
+    cost is charged naturally through the receive copy (the same
+    mechanism as the broadcasting algorithms' message merging).
+    """
+    lib = comm.with_mode(collective=True)
+    size = lib.size
+    vrank = (lib.rank - root) % size
+    accum = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = ((vrank - mask) + root) % size
+            yield from lib.send(dst, accum, nbytes=nbytes, tag=tag_base + mask)
+            return None
+        partner = vrank + mask
+        if partner < size:
+            src = (partner + root) % size
+            envelope = yield from lib.recv(source=src, tag=tag_base + mask)
+            accum = op(accum, envelope.payload)
+        mask <<= 1
+    return accum
+
+
+def allreduce(
+    comm: Comm,
+    value: Any,
+    nbytes: int,
+    op,
+    tag_base: int = _TAG_REDUCE,
+) -> Generator[Any, Any, Any]:
+    """Reduce to rank 0 followed by a broadcast; returns the result everywhere."""
+    result = yield from reduce(
+        comm, value, nbytes, op, root=0, tag_base=tag_base
+    )
+    result = yield from bcast(
+        comm, result, nbytes, root=0, tag_base=tag_base + 2 * comm.size + 3
+    )
+    return result

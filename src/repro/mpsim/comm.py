@@ -1,0 +1,296 @@
+"""Rank-addressed communication over the simulated fabric.
+
+:class:`World` owns the shared state of one machine run (engine,
+fabric, inboxes, metrics); :class:`Comm` is a rank's *view* of a group
+of ranks — the world group, a mesh row/column, or a machine half.
+Sub-communicators are plain rank translations; creating one costs no
+simulated time (mirroring the paper's assumption that every processor
+already knows the source positions, so group membership is common
+knowledge).
+
+Timing of one point-to-point message::
+
+    sender:   [t_send_overhead]───fabric reservation───▶
+    network:                   [link wait][hops·t_hop + nbytes·t_byte]
+    receiver:                       ...blocked in recv...[t_recv_overhead
+                                                          + nbytes·t_mem_byte]
+
+The receive-side per-byte cost is the memory copy out of the system
+buffer; for the broadcasting algorithms it doubles as the paper's
+message-*combining* cost (merging two sorted message sets is one pass
+over the bytes).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import CommError
+from repro.metrics.counters import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machines.params import MachineParams
+from repro.mpsim.envelope import Envelope
+from repro.mpsim.requests import Request
+from repro.network.fabric import Fabric
+from repro.network.mapping import RankMapping
+from repro.simulator.engine import Engine
+from repro.simulator.resources import Store
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "World", "Comm"]
+
+#: Wildcard receive source (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard receive tag (matches any tag).
+ANY_TAG = -1
+
+
+class World:
+    """Shared communication state for one simulation run."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        params: "MachineParams",
+        mapping: RankMapping,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.engine = engine
+        self.fabric = fabric
+        self.params = params
+        self.mapping = mapping
+        self.size = mapping.size
+        self.inboxes: List[Store] = [Store(engine) for _ in range(self.size)]
+        self.metrics = metrics if metrics is not None else MetricsCollector(self.size)
+
+    def comm(self, rank: int) -> "Comm":
+        """The world communicator as seen by ``rank``."""
+        return Comm(self, tuple(range(self.size)), rank)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Deposit ``envelope`` in its destination inbox (kernel callback)."""
+        self.inboxes[envelope.dest].put(envelope)
+
+
+class Comm:
+    """A rank's communicator over a group of world ranks.
+
+    Parameters
+    ----------
+    world:
+        The shared run state.
+    group:
+        Tuple of *world* ranks in this communicator, in group order.
+    rank:
+        This processor's index *within the group*.
+    """
+
+    def __init__(self, world: World, group: Tuple[int, ...], rank: int) -> None:
+        if len(set(group)) != len(group):
+            raise CommError(f"communicator group has duplicates: {group}")
+        if not 0 <= rank < len(group):
+            raise CommError(f"rank {rank} outside group of size {len(group)}")
+        for g in group:
+            if not 0 <= g < world.size:
+                raise CommError(f"world rank {g} out of range [0, {world.size})")
+        self.world = world
+        self.group = group
+        self.rank = rank
+        self.size = len(group)
+        #: Overhead mode applied to every operation issued through this
+        #: communicator (library collectives flip ``collective``).
+        self.collective = False
+        self.mpi = False
+        # Current logical iteration, shared by reference across every
+        # communicator view of this rank (sub-comms, mode copies) so
+        # metrics bucket correctly no matter which view issues the op.
+        self._iteration_cell = [0]
+
+    # -- iteration bookkeeping ---------------------------------------------
+    @property
+    def iteration(self) -> int:
+        """Logical iteration used to bucket this rank's metrics."""
+        return self._iteration_cell[0]
+
+    @iteration.setter
+    def iteration(self, index: int) -> None:
+        self._iteration_cell[0] = index
+
+    # -- group management ------------------------------------------------
+    @property
+    def world_rank(self) -> int:
+        """This processor's rank in the world communicator."""
+        return self.group[self.rank]
+
+    def translate(self, rank: int) -> int:
+        """Group rank → world rank."""
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} outside group of size {self.size}")
+        return self.group[rank]
+
+    def sub(self, ranks: Sequence[int]) -> Optional["Comm"]:
+        """Sub-communicator over the given *group* ranks.
+
+        Returns ``None`` if the calling rank is not in ``ranks`` —
+        mirroring ``MPI_Comm_split`` returning ``MPI_COMM_NULL``.
+        """
+        world_ranks = tuple(self.translate(r) for r in ranks)
+        if self.rank not in ranks:
+            return None
+        sub = Comm(self.world, world_ranks, list(ranks).index(self.rank))
+        sub.collective = self.collective
+        sub.mpi = self.mpi
+        sub._iteration_cell = self._iteration_cell
+        return sub
+
+    def with_mode(
+        self, *, collective: Optional[bool] = None, mpi: Optional[bool] = None
+    ) -> "Comm":
+        """A same-group communicator with different overhead mode flags."""
+        comm = Comm(self.world, self.group, self.rank)
+        comm.collective = self.collective if collective is None else collective
+        comm.mpi = self.mpi if mpi is None else mpi
+        comm._iteration_cell = self._iteration_cell
+        return comm
+
+    # -- point-to-point ---------------------------------------------------
+    def isend(
+        self, dest: int, payload: Any, nbytes: int, tag: int = 0
+    ) -> Generator[Any, Any, Request]:
+        """Non-blocking send; charges sender overhead, then returns a Request.
+
+        Usage: ``request = yield from comm.isend(...)``.
+        """
+        if tag < 0:
+            raise CommError(f"send tag must be >= 0, got {tag}")
+        world = self.world
+        params = world.params
+        src_world = self.world_rank
+        dst_world = self.translate(dest)
+        overhead = params.send_overhead(collective=self.collective, mpi=self.mpi)
+        if overhead > 0.0:
+            yield world.engine.timeout(overhead)
+        now = world.engine.now
+        src_node = world.mapping.node_of(src_world)
+        dst_node = world.mapping.node_of(dst_world)
+        stats = world.fabric.transfer(src_node, dst_node, nbytes, now)
+        envelope = Envelope(
+            source=src_world,
+            dest=dst_world,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            send_time=now,
+            arrival_time=stats.finish_time,
+        )
+        world.metrics.record_send(
+            src_world,
+            nbytes,
+            stats.link_wait,
+            iteration=self.iteration,
+            when=now,
+        )
+        world.engine.trace(
+            "send",
+            src=src_world,
+            dst=dst_world,
+            tag=tag,
+            nbytes=nbytes,
+            start=stats.start_time,
+            finish=stats.finish_time,
+        )
+        completion = world.engine.event()
+        world.engine.call_at(
+            stats.finish_time, lambda env=envelope: world.deliver(env)
+        )
+        completion.succeed(envelope, delay=stats.finish_time - now)
+        return Request(completion, kind="send")
+
+    def send(
+        self, dest: int, payload: Any, nbytes: int, tag: int = 0
+    ) -> Generator[Any, Any, Envelope]:
+        """Blocking send: completes when the last byte reaches ``dest``."""
+        request = yield from self.isend(dest, payload, nbytes, tag)
+        envelope = yield from request.wait()
+        return envelope
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Any, Any, Envelope]:
+        """Blocking receive matching ``(source, tag)`` in group ranks.
+
+        Blocks until a matching envelope arrives, then charges the
+        receive overhead plus the per-byte copy cost, and returns the
+        envelope (its ``source`` converted to a *group* rank).
+        """
+        world = self.world
+        params = world.params
+        me_world = self.world_rank
+        src_world = source if source == ANY_SOURCE else self.translate(source)
+        posted = world.engine.now
+        group_set = None if source != ANY_SOURCE else frozenset(self.group)
+
+        def matches(env: Envelope) -> bool:
+            if not env.matches(src_world, tag):
+                return False
+            return group_set is None or env.source in group_set
+
+        envelope: Envelope = yield world.inboxes[me_world].get(matches)
+        wait_time = world.engine.now - posted
+        copy_time = params.copy_cost(envelope.nbytes, collective=self.collective)
+        overhead = params.recv_overhead(collective=self.collective, mpi=self.mpi)
+        total = overhead + copy_time
+        if total > 0.0:
+            yield world.engine.timeout(total)
+        world.metrics.record_recv(
+            me_world,
+            envelope.nbytes,
+            wait_time,
+            copy_time,
+            iteration=self.iteration,
+            when=world.engine.now,
+        )
+        world.engine.trace(
+            "recv",
+            rank=me_world,
+            src=envelope.source,
+            tag=envelope.tag,
+            nbytes=envelope.nbytes,
+            waited=wait_time,
+        )
+        return self._localized(envelope)
+
+    def _localized(self, envelope: Envelope) -> Envelope:
+        """Envelope with ``source``/``dest`` translated to group ranks."""
+        try:
+            src_local = self.group.index(envelope.source)
+        except ValueError as exc:  # pragma: no cover - matching prevents this
+            raise CommError(
+                f"received from rank {envelope.source} outside group"
+            ) from exc
+        return Envelope(
+            source=src_local,
+            dest=self.rank,
+            tag=envelope.tag,
+            payload=envelope.payload,
+            nbytes=envelope.nbytes,
+            send_time=envelope.send_time,
+            arrival_time=envelope.arrival_time,
+        )
+
+    # -- local work --------------------------------------------------------
+    def compute(self, duration: float) -> Generator[Any, Any, None]:
+        """Occupy the processor for ``duration`` microseconds of local work."""
+        if duration < 0:
+            raise CommError(f"negative compute duration {duration}")
+        if duration > 0.0:
+            yield self.world.engine.timeout(duration)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds)."""
+        return self.world.engine.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Comm rank {self.rank}/{self.size} (world {self.world_rank})>"

@@ -1,0 +1,41 @@
+"""Wire-format message record exchanged through the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Envelope"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight (or buffered at the receiver).
+
+    ``source``/``dest`` are *ranks* (not physical nodes); ``payload`` is
+    opaque to the communication layer — the broadcasting algorithms put
+    message-set descriptors in it.  ``nbytes`` is the simulated size,
+    which drives all timing.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    send_time: float
+    arrival_time: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size {self.nbytes}")
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this envelope satisfies a ``(source, tag)`` receive.
+
+        ``source``/``tag`` may be the wildcard constants
+        :data:`~repro.mpsim.comm.ANY_SOURCE` / `ANY_TAG` (value ``-1``).
+        """
+        return (source == -1 or source == self.source) and (
+            tag == -1 or tag == self.tag
+        )

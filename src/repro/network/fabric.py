@@ -1,0 +1,230 @@
+"""The fabric: wormhole path-reservation timing and contention model.
+
+A message transmission reserves **every link on its dimension-order
+path** — injection channel, wire links, ejection channel — from its
+start until its completion.  This is the standard path-reservation
+approximation of wormhole routing: once a worm's header establishes the
+path, the whole path is held while the body streams through.
+
+The model is implemented with per-link *earliest-free timestamps*
+rather than an arbitration event loop: a transfer requested at time
+``t`` starts at ``start = max(t, free_at[l] for l on path)`` and holds
+every path link until ``start + duration``, where::
+
+    duration = route_setup + hops * t_hop + nbytes * t_byte
+
+Requests are served greedily in request order (no backfilling), which
+keeps the model deterministic and O(path length) per message while
+still capturing the phenomena the paper attributes to the network:
+
+* serialisation at hot spots (all of *2-Step*'s gather messages queue
+  on the root's ejection channel),
+* link competition between simultaneous broadcasts, and
+* distance effects (per-hop latency and longer reservation windows).
+
+The contention model can be disabled (``contention=False``) for the
+ablation bench, in which case only the per-message latency formula is
+charged and links never conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.topology import Topology
+
+__all__ = ["Fabric", "TransferStats"]
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Timing decomposition of a single network transfer.
+
+    Attributes
+    ----------
+    request_time:
+        When the sender handed the message to the network.
+    start_time:
+        When the path was acquired (``>= request_time``).
+    finish_time:
+        When the last byte reached the destination processor.
+    hops:
+        Wire-link hops travelled (0 for a self-send).
+    link_wait:
+        ``start_time - request_time`` — pure contention delay.
+    """
+
+    request_time: float
+    start_time: float
+    finish_time: float
+    hops: int
+
+    @property
+    def link_wait(self) -> float:
+        return self.start_time - self.request_time
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+
+class Fabric:
+    """Reservation-based contention model over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The physical interconnect.
+    t_byte:
+        Wire time per byte per link, in microseconds (inverse link
+        bandwidth).
+    t_hop:
+        Router latency per hop, in microseconds.
+    route_setup:
+        Fixed path-establishment cost per message, in microseconds.
+    contention:
+        When ``False``, links are never reserved: every transfer starts
+        immediately (ablation mode).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        t_byte: float,
+        t_hop: float,
+        route_setup: float = 0.0,
+        contention: bool = True,
+        switching: str = "wormhole",
+    ) -> None:
+        if t_byte < 0 or t_hop < 0 or route_setup < 0:
+            raise ConfigurationError("fabric timing parameters must be >= 0")
+        if switching not in ("wormhole", "store_and_forward"):
+            raise ConfigurationError(
+                "switching must be 'wormhole' or 'store_and_forward', "
+                f"got {switching!r}"
+            )
+        self.topology = topology
+        self.t_byte = t_byte
+        self.t_hop = t_hop
+        self.route_setup = route_setup
+        self.contention = contention
+        self.switching = switching
+        self._free_at: List[float] = [0.0] * topology.num_links
+        self._busy_time: List[float] = [0.0] * topology.num_links
+        self._transfers = 0
+        self._total_wait = 0.0
+
+    # -- core operation ---------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: int, now: float) -> TransferStats:
+        """Reserve the ``src -> dst`` path for an ``nbytes`` message at ``now``.
+
+        Returns the transfer's timing.  A self-send (``src == dst``)
+        never touches the network and completes instantly at ``now``.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"negative message size {nbytes}")
+        if src == dst:
+            self._transfers += 1
+            return TransferStats(now, now, now, hops=0)
+        path = self.topology.route(src, dst)
+        hops = len(path) - 2  # exclude injection and ejection channels
+        if self.switching == "store_and_forward":
+            start, finish = self._transfer_store_and_forward(path, nbytes, now)
+        else:
+            start, finish = self._transfer_wormhole(path, hops, nbytes, now)
+        self._transfers += 1
+        self._total_wait += start - now
+        return TransferStats(now, start, finish, hops=hops)
+
+    def _transfer_wormhole(
+        self, path: List[int], hops: int, nbytes: int, now: float
+    ) -> Tuple[float, float]:
+        """Path reservation: the whole path is held for the duration."""
+        duration = self.route_setup + hops * self.t_hop + nbytes * self.t_byte
+        if not self.contention:
+            return now, now + duration
+        start = now
+        for link in path:
+            free = self._free_at[link]
+            if free > start:
+                start = free
+        finish = start + duration
+        for link in path:
+            self._free_at[link] = finish
+            self._busy_time[link] += duration
+        return start, finish
+
+    def _transfer_store_and_forward(
+        self, path: List[int], nbytes: int, now: float
+    ) -> Tuple[float, float]:
+        """Hop-by-hop forwarding (pre-wormhole routers).
+
+        The whole message crosses one link at a time, so distance costs
+        ``hops * nbytes * t_byte`` rather than the wormhole's additive
+        ``hops * t_hop`` — the regime in which the paper's ancestors
+        (store-and-forward hypercubes) were analysed.  The message holds
+        at most one link at a time; pipelining across messages emerges
+        from per-link reservations.
+        """
+        per_link = self.t_hop + nbytes * self.t_byte
+        arrive = now + self.route_setup
+        first_start = None
+        for link in path:
+            start = max(arrive, self._free_at[link]) if self.contention else arrive
+            finish = start + per_link
+            if self.contention:
+                self._free_at[link] = finish
+                self._busy_time[link] += per_link
+            if first_start is None:
+                first_start = start
+            arrive = finish
+        assert first_start is not None
+        return first_start, arrive
+
+    # -- statistics ----------------------------------------------------------
+    @property
+    def transfers(self) -> int:
+        """Number of network transfers performed so far."""
+        return self._transfers
+
+    @property
+    def total_link_wait(self) -> float:
+        """Sum of contention delays across all transfers (microseconds)."""
+        return self._total_wait
+
+    def link_utilization(self, until: Optional[float] = None) -> float:
+        """Mean busy fraction over wire links up to time ``until``.
+
+        ``until`` defaults to the latest reservation end; returns 0.0
+        when nothing was transferred.
+        """
+        n = self.topology.num_nodes
+        wire_busy = self._busy_time[2 * n :]
+        if not wire_busy:
+            return 0.0
+        horizon = until if until is not None else max(self._free_at, default=0.0)
+        if horizon <= 0.0:
+            return 0.0
+        return sum(wire_busy) / (len(wire_busy) * horizon)
+
+    def hottest_links(self, k: int = 5) -> List[tuple]:
+        """The ``k`` busiest links as ``(busy_time, (u, v))`` pairs."""
+        ranked = sorted(
+            (
+                (busy, self.topology.link_endpoints(link_id))
+                for link_id, busy in enumerate(self._busy_time)
+                if busy > 0.0
+            ),
+            reverse=True,
+        )
+        return ranked[:k]
+
+    def reset(self) -> None:
+        """Clear all reservations and statistics."""
+        self._free_at = [0.0] * self.topology.num_links
+        self._busy_time = [0.0] * self.topology.num_links
+        self._transfers = 0
+        self._total_wait = 0.0

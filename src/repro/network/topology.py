@@ -1,0 +1,164 @@
+"""Topology base class: nodes, directed links, and routes.
+
+A topology is a directed multigraph over ``num_nodes`` physical nodes.
+Every node owns one *injection* link (processor → router) and one
+*ejection* link (router → processor), plus the topology's wire links.
+Links are identified by dense integer ids so the fabric can keep its
+reservation state in flat arrays.
+
+Subclasses implement the coordinate system and the dimension-order
+:meth:`route`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import RoutingError, TopologyError
+
+__all__ = ["Topology"]
+
+
+class Topology(ABC):
+    """Base class for interconnect topologies.
+
+    Subclasses call :meth:`_finalize` after registering their wire
+    links via :meth:`_add_link`.  Link ids are assigned as follows:
+
+    * ``0 .. num_nodes-1`` — injection links (node *i*'s is id *i*);
+    * ``num_nodes .. 2*num_nodes-1`` — ejection links;
+    * ``2*num_nodes ..`` — wire links, in registration order.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise TopologyError(f"need at least one node, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._wire_endpoints: List[Tuple[int, int]] = []
+        self._wire_index: Dict[Tuple[int, int], int] = {}
+        self._finalized = False
+
+    # -- construction -----------------------------------------------------
+    def _add_link(self, u: int, v: int) -> int:
+        """Register the directed wire link ``u -> v``; returns its id."""
+        if self._finalized:
+            raise TopologyError("topology already finalized")
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise TopologyError(f"self-link at node {u}")
+        key = (u, v)
+        if key in self._wire_index:
+            raise TopologyError(f"duplicate link {u}->{v}")
+        link_id = 2 * self._num_nodes + len(self._wire_endpoints)
+        self._wire_endpoints.append(key)
+        self._wire_index[key] = link_id
+        return link_id
+
+    def _finalize(self) -> None:
+        self._finalized = True
+
+    # -- identity --------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of physical nodes."""
+        return self._num_nodes
+
+    @property
+    def num_links(self) -> int:
+        """Total number of links (injection + ejection + wires)."""
+        return 2 * self._num_nodes + len(self._wire_endpoints)
+
+    @property
+    def num_wire_links(self) -> int:
+        """Number of directed wire links (excludes injection/ejection)."""
+        return len(self._wire_endpoints)
+
+    def injection_link(self, node: int) -> int:
+        """Id of ``node``'s processor→router channel."""
+        self._check_node(node)
+        return node
+
+    def ejection_link(self, node: int) -> int:
+        """Id of ``node``'s router→processor channel."""
+        self._check_node(node)
+        return self._num_nodes + node
+
+    def wire_link(self, u: int, v: int) -> int:
+        """Id of the directed wire link ``u -> v``.
+
+        Raises :class:`~repro.errors.RoutingError` if absent.
+        """
+        try:
+            return self._wire_index[(u, v)]
+        except KeyError:
+            raise RoutingError(f"no link {u}->{v} in {self!r}") from None
+
+    def has_wire_link(self, u: int, v: int) -> bool:
+        """Whether the directed wire link ``u -> v`` exists."""
+        return (u, v) in self._wire_index
+
+    def link_endpoints(self, link_id: int) -> Tuple[int, int]:
+        """``(u, v)`` endpoints of any link (end nodes for inj/ej)."""
+        n = self._num_nodes
+        if 0 <= link_id < n:
+            return (link_id, link_id)
+        if n <= link_id < 2 * n:
+            return (link_id - n, link_id - n)
+        try:
+            return self._wire_endpoints[link_id - 2 * n]
+        except IndexError:
+            raise TopologyError(f"unknown link id {link_id}") from None
+
+    def neighbors(self, node: int) -> List[int]:
+        """Nodes reachable from ``node`` over one wire link, sorted."""
+        self._check_node(node)
+        return sorted(v for (u, v) in self._wire_endpoints if u == node)
+
+    # -- routing ---------------------------------------------------------
+    @abstractmethod
+    def route_nodes(self, src: int, dst: int) -> List[int]:
+        """Dimension-order node path ``[src, ..., dst]`` (inclusive)."""
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Full link-id path: injection, wires along the node path, ejection.
+
+        For ``src == dst`` the path is empty — a self-send never touches
+        the network.
+        """
+        if src == dst:
+            return []
+        nodes = self.route_nodes(src, dst)
+        if nodes[0] != src or nodes[-1] != dst:
+            raise RoutingError(
+                f"route_nodes({src}, {dst}) returned endpoints "
+                f"{nodes[0]}..{nodes[-1]}"
+            )
+        path = [self.injection_link(src)]
+        for u, v in zip(nodes, nodes[1:]):
+            path.append(self.wire_link(u, v))
+        path.append(self.ejection_link(dst))
+        return path
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count of the dimension-order route (0 for self)."""
+        if src == dst:
+            return 0
+        return len(self.route_nodes(src, dst)) - 1
+
+    # -- helpers ------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise TopologyError(
+                f"node {node} out of range [0, {self._num_nodes})"
+            )
+
+    @property
+    @abstractmethod
+    def shape(self) -> Sequence[int]:
+        """Dimension extents, e.g. ``(rows, cols)`` or ``(x, y, z)``."""
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"<{type(self).__name__} {dims} ({self._num_nodes} nodes)>"

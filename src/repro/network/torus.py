@@ -1,0 +1,123 @@
+"""3-D torus topology — the Cray T3D interconnect.
+
+Nodes are indexed ``x * (ny * nz) + y * nz + z`` with coordinate
+``(x, y, z)``.  Every dimension wraps around (a ring), and each node has
+six wire links (±x, ±y, ±z); a dimension of extent 1 contributes no
+links, and a dimension of extent 2 contributes a single bidirectional
+pair (not a double link).  Routing is dimension-order X→Y→Z, taking the
+shorter way around each ring (ties broken toward increasing
+coordinates, as hardware routers do deterministically).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["Torus3D"]
+
+
+class Torus3D(Topology):
+    """An ``nx x ny x nz`` 3-D torus with wraparound in every dimension."""
+
+    def __init__(self, nx: int, ny: int, nz: int) -> None:
+        if nx <= 0 or ny <= 0 or nz <= 0:
+            raise TopologyError(f"invalid torus shape {nx}x{ny}x{nz}")
+        super().__init__(nx * ny * nz)
+        self.nx = nx
+        self.ny = ny
+        self.nz = nz
+        for x in range(nx):
+            for y in range(ny):
+                for z in range(nz):
+                    node = self.node_at(x, y, z)
+                    # +direction neighbour per dimension; wraparound pairs
+                    # are added once (skip when the wrap duplicates an
+                    # existing +1 link, i.e. extent <= 2 edge cases).
+                    for dim, extent in (("x", nx), ("y", ny), ("z", nz)):
+                        if extent == 1:
+                            continue
+                        nb = self._shift(x, y, z, dim, +1)
+                        if not self.has_wire_link(node, nb):
+                            self._add_link(node, nb)
+                            self._add_link(nb, node)
+        self._finalize()
+
+    @property
+    def shape(self) -> Sequence[int]:
+        return (self.nx, self.ny, self.nz)
+
+    # -- coordinates ------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, int, int]:
+        """``(x, y, z)`` of ``node``."""
+        self._check_node(node)
+        x, rem = divmod(node, self.ny * self.nz)
+        y, z = divmod(rem, self.nz)
+        return (x, y, z)
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        """Node id at torus coordinate ``(x, y, z)``."""
+        if not (0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz):
+            raise TopologyError(
+                f"coordinate ({x}, {y}, {z}) outside "
+                f"{self.nx}x{self.ny}x{self.nz}"
+            )
+        return x * (self.ny * self.nz) + y * self.nz + z
+
+    def _shift(self, x: int, y: int, z: int, dim: str, step: int) -> int:
+        if dim == "x":
+            return self.node_at((x + step) % self.nx, y, z)
+        if dim == "y":
+            return self.node_at(x, (y + step) % self.ny, z)
+        return self.node_at(x, y, (z + step) % self.nz)
+
+    @staticmethod
+    def _ring_steps(src: int, dst: int, extent: int) -> List[int]:
+        """Coordinates visited moving ``src -> dst`` the short way round.
+
+        Returns the intermediate+final coordinates (``src`` excluded).
+        Ties (distance exactly ``extent/2``) go in the +direction.
+        """
+        if src == dst:
+            return []
+        forward = (dst - src) % extent
+        backward = (src - dst) % extent
+        step = +1 if forward <= backward else -1
+        coords = []
+        cur = src
+        while cur != dst:
+            cur = (cur + step) % extent
+            coords.append(cur)
+        return coords
+
+    # -- routing ----------------------------------------------------------
+    def route_nodes(self, src: int, dst: int) -> List[int]:
+        """Dimension-order (X, then Y, then Z) shortest-ring route."""
+        sx, sy, sz = self.coords(src)
+        dx, dy, dz = self.coords(dst)
+        nodes = [src]
+        for x in self._ring_steps(sx, dx, self.nx):
+            nodes.append(self.node_at(x, sy, sz))
+        for y in self._ring_steps(sy, dy, self.ny):
+            nodes.append(self.node_at(dx, y, sz))
+        for z in self._ring_steps(sz, dz, self.nz):
+            nodes.append(self.node_at(dx, dy, z))
+        return nodes
+
+    @staticmethod
+    def dims_for(p: int) -> Tuple[int, int, int]:
+        """Near-cubic power-of-two factorisation used for T3D partitions.
+
+        The T3D allocated partitions with power-of-two extents; we pick
+        the factorisation of ``p`` into three powers of two with the
+        smallest maximum extent (e.g. ``128 -> (8, 4, 4)``).
+        """
+        if p <= 0 or p & (p - 1):
+            raise TopologyError(f"T3D partition size must be a power of 2, got {p}")
+        k = p.bit_length() - 1
+        kx = (k + 2) // 3
+        ky = (k - kx + 1) // 2
+        kz = k - kx - ky
+        return (1 << kx, 1 << ky, 1 << kz)

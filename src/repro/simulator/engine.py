@@ -1,0 +1,136 @@
+"""The discrete-event engine: calendar queue plus virtual clock.
+
+The engine is deliberately minimal — a heap of ``(time, seq, event)``
+triples and a ``run()`` loop — because everything interesting
+(link arbitration, message matching, process control) is layered on top
+via :class:`~repro.simulator.events.Event` callbacks.
+
+Two design points matter for reproducing the paper:
+
+* **Determinism.**  Ties in time are broken by a monotonically
+  increasing sequence number, so two events scheduled for the same
+  instant always fire in scheduling order.  A whole machine simulation
+  is therefore a pure function of its configuration and seeds.
+* **Deadlock detection.**  When the calendar drains while processes are
+  still alive, the engine raises
+  :class:`~repro.errors.DeadlockError` naming the blocked processes —
+  the moral equivalent of an MPI job hanging in ``MPI_Recv``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simulator.events import Event, Timeout
+from repro.simulator.process import Process
+from repro.simulator.trace import Tracer
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Time is a ``float`` in **microseconds**, starting at ``0.0``.
+
+    Examples
+    --------
+    >>> engine = Engine()
+    >>> def hello():
+    ...     yield engine.timeout(5.0)
+    ...     return engine.now
+    >>> proc = engine.process(hello())
+    >>> engine.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._processes: List[Process] = []
+        self.tracer = tracer
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Spawn ``generator`` as a simulated process, starting at ``now``."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        """Place ``event`` on the calendar ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute time ``when`` (must be >= now)."""
+        event = self.event()
+        event.add_callback(lambda _ev: callback())
+        event.succeed(delay=when - self._now)
+        return event
+
+    # -- main loop ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event on the calendar."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant
+            raise SimulationError("time ran backwards")
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar drains (or past time ``until``).
+
+        Raises
+        ------
+        DeadlockError
+            If the calendar drains while spawned processes are still
+            alive, i.e. blocked on events nobody will trigger.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        blocked = [p for p in self._processes if p.is_alive]
+        if blocked:
+            detail = "; ".join(p.describe_block() for p in blocked[:16])
+            more = "" if len(blocked) <= 16 else f" (+{len(blocked) - 16} more)"
+            raise DeadlockError(
+                f"simulation deadlocked at t={self._now:.3f}us with "
+                f"{len(blocked)} blocked process(es): {detail}{more}"
+            )
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently on the calendar."""
+        return len(self._queue)
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        """Record a trace event if a tracer is attached (cheap no-op otherwise)."""
+        if self.tracer is not None:
+            self.tracer.record(self._now, kind, fields)

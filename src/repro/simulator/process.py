@@ -1,0 +1,91 @@
+"""Generator-based simulated processes.
+
+A *process* wraps a Python generator: each ``yield``-ed
+:class:`~repro.simulator.events.Event` suspends the process until the
+event fires, at which point the generator is resumed with the event's
+value.  A process is itself an event that fires (with the generator's
+return value) when the generator finishes — so processes can wait on
+each other, which is how a machine run joins all its node programs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.engine import Engine
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A simulated thread of control driving a generator.
+
+    Parameters
+    ----------
+    engine:
+        Owning engine.
+    generator:
+        A generator yielding :class:`Event` objects.  Its ``return``
+        value becomes the process's event value.
+    name:
+        Optional label used in deadlock reports and traces.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick-start at the current instant (deterministically ordered
+        # after already-scheduled events of this instant).
+        start = Event(engine)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    # -- state -------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def describe_block(self) -> str:
+        """One-line description of what this process is blocked on."""
+        target = self._waiting_on
+        desc = "not started" if target is None else repr(target)
+        return f"{self.name} waiting on {desc}"
+
+    # -- execution ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator by one step with ``event``'s value."""
+        self._waiting_on = None
+        try:
+            target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (did you forget 'yield from'?)"
+            )
+        if target.engine is not self.engine:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another engine"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,75 @@
+"""Lightweight structured tracing for simulations.
+
+Attach a :class:`Tracer` to an :class:`~repro.simulator.engine.Engine`
+to capture a chronological record of kernel- and network-level events
+(sends, link grants, deliveries, ...).  Tracing is off by default —
+``Engine.trace`` is a no-op without a tracer — so production benchmark
+runs pay nothing for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: a timestamp, a kind tag, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:12.3f}us] {self.kind:<14s} {parts}"
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` objects, optionally filtered by kind.
+
+    Parameters
+    ----------
+    kinds:
+        When given, only records whose ``kind`` is in this set are kept.
+    limit:
+        Safety cap on stored records; the tracer silently stops
+        recording past the cap (``truncated`` turns ``True``).
+    """
+
+    def __init__(
+        self, kinds: Optional[Tuple[str, ...]] = None, limit: int = 1_000_000
+    ) -> None:
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._limit = limit
+        self.records: List[TraceRecord] = []
+        self.truncated = False
+
+    def record(self, time: float, kind: str, fields: Dict[str, Any]) -> None:
+        """Store one record (subject to the kind filter and limit)."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if len(self.records) >= self._limit:
+            self.truncated = True
+            return
+        self.records.append(TraceRecord(time, kind, fields))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in chronological order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def dump(self) -> str:
+        """Human-readable multi-line rendering of the whole trace."""
+        lines = [str(r) for r in self.records]
+        if self.truncated:
+            lines.append("... trace truncated ...")
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Unit tests for the halving pattern and GridView machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms.common import (
+    GridView,
+    halving_pairs,
+    halving_rounds,
+    initial_holdings_map,
+)
+from repro.core.problem import BroadcastProblem
+from repro.errors import AlgorithmError
+
+
+class TestHalvingPairs:
+    def test_power_of_two_depth(self):
+        assert len(halving_pairs(8)) == 3
+        assert len(halving_pairs(16)) == 4
+
+    def test_non_power_of_two_depth_is_ceil_log(self):
+        assert len(halving_pairs(10)) == 4
+        assert len(halving_pairs(5)) == 3
+
+    def test_single_position_no_rounds(self):
+        assert halving_pairs(1) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(AlgorithmError):
+            halving_pairs(0)
+
+    def test_first_iteration_pairs_across_halves(self):
+        pairs = halving_pairs(8)[0]
+        assert pairs == [(0, 4, False), (1, 5, False), (2, 6, False), (3, 7, False)]
+
+    def test_odd_segment_has_one_way_feed(self):
+        pairs = halving_pairs(5)[0]
+        # mid = 3: pairs (0,3), (1,4); extra one-way 2 -> 4
+        assert (0, 3, False) in pairs
+        assert (1, 4, False) in pairs
+        assert (2, 4, True) in pairs
+
+    def test_every_position_touched_across_iterations(self):
+        for n in (2, 3, 7, 8, 13, 16, 100):
+            touched = set()
+            for pairs in halving_pairs(n):
+                for a, b, _ in pairs:
+                    touched.add(a)
+                    touched.add(b)
+            if n > 1:
+                assert touched == set(range(n)), n
+
+    def test_broadcast_completeness_from_any_single_position(self):
+        """Structural check: one holder spreads to every position."""
+        for n in (2, 5, 8, 11, 16):
+            for start in range(n):
+                holders = {start}
+                for pairs in halving_pairs(n):
+                    snapshot = set(holders)
+                    for a, b, one_way in pairs:
+                        if a in snapshot:
+                            holders.add(b)
+                        if not one_way and b in snapshot:
+                            holders.add(a)
+                assert holders == set(range(n)), (n, start)
+
+    def test_union_completeness_from_all_positions(self):
+        """Every position's message reaches every other position."""
+        for n in (2, 5, 8, 10, 13):
+            sets = {i: {i} for i in range(n)}
+            for pairs in halving_pairs(n):
+                snap = {i: set(s) for i, s in sets.items()}
+                for a, b, one_way in pairs:
+                    sets[b] |= snap[a]
+                    if not one_way:
+                        sets[a] |= snap[b]
+            full = set(range(n))
+            assert all(s == full for s in sets.values()), n
+
+
+class TestHalvingRounds:
+    def test_one_way_send_when_one_side_empty(self, small_paragon):
+        problem = BroadcastProblem(small_paragon, (0,), message_size=10)
+        order = list(range(20))
+        holdings = initial_holdings_map(problem, order)
+        rounds = halving_rounds(order, holdings)
+        # first round: only 0 -> 10 (one-way), nothing else has data
+        assert len(rounds[0]) == 1
+        t = rounds[0][0]
+        assert (t.src, t.dst) == (0, 10)
+
+    def test_exchange_when_both_hold(self, small_paragon):
+        problem = BroadcastProblem(small_paragon, (0, 10), message_size=10)
+        order = list(range(20))
+        holdings = initial_holdings_map(problem, order)
+        rounds = halving_rounds(order, holdings)
+        first = {(t.src, t.dst) for t in rounds[0]}
+        assert (0, 10) in first and (10, 0) in first
+
+    def test_silence_when_both_empty(self, small_paragon):
+        """With one source, only p - 1 one-way transfers ever happen —
+        empty-empty pairs stay silent."""
+        problem = BroadcastProblem(small_paragon, (0,), message_size=10)
+        order = list(range(20))
+        holdings = initial_holdings_map(problem, order)
+        rounds = halving_rounds(order, holdings)
+        assert sum(len(r) for r in rounds) == 19
+        # round 0 pairs 10 positions but only one holds data
+        assert len(rounds[0]) == 1
+
+    def test_holdings_updated_in_place(self, small_paragon):
+        problem = BroadcastProblem(small_paragon, (0, 10), message_size=10)
+        order = list(range(20))
+        holdings = initial_holdings_map(problem, order)
+        halving_rounds(order, holdings)
+        full = frozenset({0, 10})
+        assert all(holdings[r] == full for r in order)
+
+
+class TestGridView:
+    def test_full_machine_layout(self):
+        view = GridView.full_machine(2, 3)
+        assert view.cells == ((0, 1, 2), (3, 4, 5))
+        assert view.rows == 2 and view.cols == 3
+
+    def test_lines(self):
+        view = GridView.full_machine(2, 3)
+        assert view.row_lines() == [[0, 1, 2], [3, 4, 5]]
+        assert view.col_lines() == [[0, 3], [1, 4], [2, 5]]
+
+    def test_all_ranks_row_major(self):
+        view = GridView.full_machine(2, 3)
+        assert view.all_ranks() == [0, 1, 2, 3, 4, 5]
+
+    def test_snake_order(self):
+        view = GridView.full_machine(3, 3)
+        assert view.snake_order() == [0, 1, 2, 5, 4, 3, 6, 7, 8]
+
+    def test_split_prefers_larger_dimension(self):
+        left, right = GridView.full_machine(2, 4).split()
+        assert left.cols == right.cols == 2
+        assert left.all_ranks() == [0, 1, 4, 5]
+        assert right.all_ranks() == [2, 3, 6, 7]
+
+    def test_split_falls_back_to_even_dimension(self):
+        top, bottom = GridView.full_machine(4, 5).split()
+        assert top.rows == bottom.rows == 2
+
+    def test_split_rejects_doubly_odd(self):
+        with pytest.raises(AlgorithmError):
+            GridView.full_machine(3, 5).split()
+        assert not GridView.full_machine(3, 5).splittable
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(AlgorithmError):
+            GridView([[0, 1], [2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlgorithmError):
+            GridView([])

@@ -1,0 +1,118 @@
+"""Unit tests for the extension algorithms Br_Ring and Auto_Predict."""
+
+from __future__ import annotations
+
+from repro.core import BroadcastProblem, run_broadcast
+from repro.core.algorithms import AutoPredict, BrRing
+from repro.distributions import DISTRIBUTIONS
+from repro.machines import paragon, t3d
+
+
+class TestBrRing:
+    def test_round_count_is_p_minus_1(self, small_problem):
+        sched = BrRing().build_schedule(small_problem)
+        assert sched.num_rounds == small_problem.p - 1
+
+    def test_each_rank_receives_exactly_s_messages(self, small_problem):
+        sched = BrRing().build_schedule(small_problem)
+        recv_count = {}
+        for rnd in sched.rounds:
+            for t in rnd:
+                recv_count[t.dst] = recv_count.get(t.dst, 0) + 1
+        # everyone except ... everyone receives s messages (their own
+        # message also travels the full ring back past them minus 1)
+        for rank in range(small_problem.p):
+            assert recv_count.get(rank, 0) == small_problem.s or (
+                recv_count.get(rank, 0) == small_problem.s - 1
+            )
+
+    def test_messages_never_combined(self, small_problem):
+        sched = BrRing().build_schedule(small_problem)
+        assert all(
+            len(t.msgset) == 1 for rnd in sched.rounds for t in rnd
+        )
+
+    def test_bytes_through_each_rank_minimal(self, small_problem):
+        """Br_Ring's per-rank received bytes are the minimum s*L (less
+        the rank's own message)."""
+        result = run_broadcast(small_problem, "Br_Ring")
+        s, L, p = small_problem.s, small_problem.message_size, small_problem.p
+        total_recv = result.metrics.total_bytes  # bytes sent == received
+        assert total_recv <= s * L * p  # never more than s*L per rank
+
+    def test_validates_everywhere(self, small_paragon, small_t3d):
+        for machine in (small_paragon, small_t3d):
+            for s in (1, 3, machine.p):
+                problem = BroadcastProblem(
+                    machine, tuple(range(s)), message_size=64
+                )
+                BrRing().build_schedule(problem).validate()
+
+    def test_single_rank_machine(self):
+        machine = paragon(1, 1)
+        problem = BroadcastProblem(machine, (0,), message_size=64)
+        run_broadcast(problem, "Br_Ring", verify=True)
+
+    def test_rounds_are_partial_permutations(self, small_problem):
+        sched = BrRing().build_schedule(small_problem)
+        for rnd in sched.rounds:
+            srcs = [t.src for t in rnd]
+            dsts = [t.dst for t in rnd]
+            assert len(set(srcs)) == len(srcs)
+            assert len(set(dsts)) == len(dsts)
+
+    def test_loses_to_br_lin_when_overhead_bound(self, square_paragon):
+        """O(p) rounds of software overhead sink the ring on the Paragon."""
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 30)
+        problem = BroadcastProblem(square_paragon, src, message_size=512)
+        t_ring = run_broadcast(problem, "Br_Ring").elapsed_us
+        t_lin = run_broadcast(problem, "Br_Lin").elapsed_us
+        assert t_ring > t_lin
+
+
+class TestAutoPredict:
+    def test_result_names_the_choice(self, square_paragon):
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 30)
+        problem = BroadcastProblem(square_paragon, src, message_size=4096)
+        result = run_broadcast(problem, "Auto_Predict")
+        assert result.algorithm.startswith("Auto_Predict[")
+
+    def test_never_worse_than_worst_candidate(self, square_paragon):
+        src = DISTRIBUTIONS["Cr"].generate(square_paragon, 40)
+        problem = BroadcastProblem(square_paragon, src, message_size=6144)
+        t_auto = run_broadcast(problem, "Auto_Predict").elapsed_us
+        others = [
+            run_broadcast(problem, name).elapsed_us
+            for name in ("Br_Lin", "Br_xy_source", "Repos_xy_source")
+        ]
+        assert t_auto <= max(others) * 1.05
+
+    def test_close_to_best_candidate(self, square_paragon):
+        """The prediction-driven pick lands within a modest factor of
+        the true best (model error is bounded by contention only)."""
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 30)
+        problem = BroadcastProblem(square_paragon, src, message_size=4096)
+        t_auto = run_broadcast(problem, "Auto_Predict").elapsed_us
+        best = min(
+            run_broadcast(problem, name).elapsed_us
+            for name in ("Br_Lin", "Br_xy_source", "Repos_xy_source", "Br_Ring")
+        )
+        assert t_auto <= 1.25 * best
+
+    def test_picks_collective_on_t3d(self):
+        machine = t3d(64)
+        src = DISTRIBUTIONS["E"].generate(machine, 32)
+        problem = BroadcastProblem(machine, src, message_size=4096)
+        chosen = AutoPredict().chosen_for(problem)
+        assert chosen in ("MPI_Alltoall", "MPI_AllGather")
+
+    def test_skips_mesh_algorithms_off_mesh(self):
+        machine = t3d(32)
+        problem = BroadcastProblem(machine, (0, 5), message_size=1024)
+        run_broadcast(problem, "Auto_Predict", verify=True)  # must not raise
+
+    def test_custom_portfolio(self, square_paragon):
+        auto = AutoPredict(portfolio=("Br_Ring",))
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 10)
+        problem = BroadcastProblem(square_paragon, src, message_size=512)
+        assert auto.chosen_for(problem) == "Br_Ring"

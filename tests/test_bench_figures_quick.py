@@ -1,0 +1,49 @@
+"""Smoke tests for the cheap figure experiments (quick mode).
+
+The heavyweight validation of every experiment lives in
+``benchmarks/``; these tests keep the fast Paragon-only figures under
+ordinary ``pytest tests/`` so a broken experiment fails CI immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ablations, extensions, figures
+
+
+@pytest.mark.parametrize(
+    "experiment",
+    [
+        figures.fig01,
+        figures.fig06,
+        figures.fig07,
+        figures.fig08,
+        figures.sec52_conditions,
+        ablations.ablation_ideal_rows,
+        extensions.extension_hypercube,
+    ],
+    ids=lambda fn: fn.__name__,
+)
+def test_quick_experiment_passes_its_shape_checks(experiment):
+    result = experiment(True)  # quick=True
+    failed = [str(c) for c in result.checks if not c.passed]
+    assert not failed, "\n".join(failed)
+    assert result.figure
+    assert result.report()  # renders without error
+
+
+def test_every_registered_experiment_accepts_quick_flag():
+    from repro.bench.cli import available_experiments
+
+    import inspect
+
+    for name, fn in available_experiments().items():
+        signature = inspect.signature(fn)
+        assert "quick" in signature.parameters, name
+
+
+def test_experiment_results_are_reproducible():
+    a = figures.fig07(True)
+    b = figures.fig07(True)
+    assert a.series[0].curves == b.series[0].curves

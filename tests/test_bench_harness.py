@@ -1,0 +1,121 @@
+"""Unit tests for the bench harness machinery (types, runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import measure_problem, sweep
+from repro.bench.types import Check, FigureResult, Series
+from repro.core.problem import BroadcastProblem
+from repro.distributions import DISTRIBUTIONS
+from repro.machines import t3d
+
+
+class TestSeries:
+    def test_value_lookup(self):
+        series = Series("t", "x", [1, 2, 3], {"a": [10.0, 20.0, 30.0]})
+        assert series.value("a", 2) == 20.0
+
+    def test_table_renders_all_cells(self):
+        series = Series(
+            "my title", "s", [1, 2], {"algo": [1.5, 2.5], "other": [3.0, 4.0]}
+        )
+        table = series.to_table(width=10, precision=1)
+        assert "my title" in table
+        assert "1.5" in table and "4.0" in table
+        assert "algo" in table and "other" in table
+
+    def test_missing_curve_raises(self):
+        series = Series("t", "x", [1], {"a": [1.0]})
+        with pytest.raises(KeyError):
+            series.value("b", 1)
+
+
+class TestCheckAndFigure:
+    def test_check_str_pass_fail(self):
+        assert str(Check("ok", True)).startswith("[PASS]")
+        assert str(Check("bad", False, "why")).startswith("[FAIL]")
+        assert "why" in str(Check("bad", False, "why"))
+
+    def test_figure_all_passed(self):
+        fig = FigureResult("F", "d")
+        fig.checks.append(Check("a", True))
+        assert fig.all_passed
+        fig.checks.append(Check("b", False))
+        assert not fig.all_passed
+
+    def test_report_contains_everything(self):
+        fig = FigureResult("Figure X", "stuff")
+        fig.series.append(Series("t", "x", [1], {"a": [1.0]}))
+        fig.checks.append(Check("criterion", True))
+        fig.notes.append("a note")
+        report = fig.report()
+        assert "Figure X" in report
+        assert "criterion" in report
+        assert "a note" in report
+
+
+class TestMeasureProblem:
+    def test_paragon_single_run(self, square_paragon):
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 10)
+        problem = BroadcastProblem(square_paragon, src, message_size=512)
+        a = measure_problem(problem, "Br_Lin")
+        b = measure_problem(problem, "Br_Lin")
+        assert a == b  # deterministic, one seed
+
+    def test_t3d_averages_best_seeds(self):
+        machine = t3d(32)
+        src = DISTRIBUTIONS["E"].generate(machine, 8)
+        problem = BroadcastProblem(machine, src, message_size=2048)
+        from repro.core import run_broadcast
+
+        mean_best = measure_problem(problem, "Br_Lin")
+        singles = sorted(
+            run_broadcast(problem, "Br_Lin", seed=s).elapsed_ms
+            for s in range(5)
+        )
+        assert mean_best == pytest.approx(sum(singles[:4]) / 4)
+
+    def test_contention_flag_forwarded(self, square_paragon):
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 40)
+        problem = BroadcastProblem(square_paragon, src, message_size=16384)
+        on = measure_problem(problem, "Naive_Independent", contention=True)
+        off = measure_problem(problem, "Naive_Independent", contention=False)
+        assert on > off
+
+
+class TestSweep:
+    def test_curves_shape(self, square_paragon):
+        curves = sweep(
+            square_paragon,
+            ["Br_Lin", "2-Step"],
+            DISTRIBUTIONS["E"],
+            [5, 10],
+            message_size=512,
+        )
+        assert set(curves) == {"Br_Lin", "2-Step"}
+        assert all(len(v) == 2 for v in curves.values())
+
+    def test_fixed_total_divides_message_size(self, square_paragon):
+        curves = sweep(
+            square_paragon,
+            ["Br_Lin"],
+            DISTRIBUTIONS["Dr"],
+            [5, 80],
+            message_size=0,
+            total_bytes=80 * 1024,
+        )
+        # spreading the same total must not blow up the time
+        assert curves["Br_Lin"][1] < curves["Br_Lin"][0] * 2
+
+    def test_algorithm_instances_accepted(self, square_paragon):
+        from repro.core.algorithms import BrLin
+
+        curves = sweep(
+            square_paragon,
+            [BrLin()],
+            DISTRIBUTIONS["E"],
+            [5],
+            message_size=256,
+        )
+        assert "Br_Lin" in curves

@@ -1,0 +1,105 @@
+"""Unit tests for the two command-line interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.__main__ import parse_machine
+from repro.bench.cli import available_experiments
+from repro.bench.cli import main as bench_main
+from repro.errors import ReproError
+
+
+class TestParseMachine:
+    def test_paragon_spec(self):
+        machine = parse_machine("paragon:4x6")
+        assert machine.mesh_shape == (4, 6)
+
+    def test_t3d_spec(self):
+        assert parse_machine("t3d:64").p == 64
+
+    def test_hypercube_spec(self):
+        assert parse_machine("hypercube:32").p == 32
+
+    def test_unknown_spec(self):
+        with pytest.raises(ReproError):
+            parse_machine("connectionmachine:65536")
+
+
+class TestReproCLI:
+    def test_basic_run(self, capsys):
+        code = repro_main(
+            ["--machine", "paragon:4x5", "--dist", "E", "--s", "5", "--L", "512"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "time:" in out
+        assert "figure-2:" in out
+
+    def test_explicit_algorithm(self, capsys):
+        code = repro_main(
+            [
+                "--machine",
+                "paragon:4x4",
+                "--algorithm",
+                "PersAlltoAll",
+                "--s",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PersAlltoAll" in out
+
+    def test_sources_rendering(self, capsys):
+        code = repro_main(
+            ["--machine", "paragon:4x4", "--s", "4", "--show-sources"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "*" in out
+
+    def test_timeline_rendering(self, capsys):
+        code = repro_main(
+            ["--machine", "paragon:4x4", "--s", "4", "--timeline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank" in out
+
+    def test_bad_machine_is_graceful(self, capsys):
+        code = repro_main(["--machine", "nonsense:1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_mesh_algorithm_on_t3d_is_graceful(self, capsys):
+        code = repro_main(
+            ["--machine", "t3d:16", "--algorithm", "Br_xy_source", "--s", "4"]
+        )
+        assert code == 2
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert bench_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "ablation-contention" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert bench_main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_quick_fig1(self, capsys):
+        assert bench_main(["--quick", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "PASS" in out
+
+    def test_registry_complete(self):
+        table = available_experiments()
+        # 13 figures + 3 §5 text claims + 5 ablations + 3 extensions
+        assert len(table) == 24
+        for fn in table.values():
+            assert callable(fn)

@@ -1,0 +1,83 @@
+"""Unit tests for the Figure-2 analytic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import FIGURE2_ALGORITHMS, figure2_row
+from repro.errors import AlgorithmError
+
+
+class TestRows:
+    def test_two_step_forms(self):
+        row = figure2_row("2-Step", p=256, s=16, L=1024)
+        assert row.congestion == 16  # O(s)
+        assert row.wait == 1
+        assert row.send_recv == 256  # O(p)
+        assert row.av_msg_lgth == 16 * 1024  # O(sL)
+        assert row.av_act_proc == pytest.approx(256 / 8)  # p / log p
+
+    def test_pers_alltoall_forms(self):
+        row = figure2_row("PersAlltoAll", p=256, s=16, L=1024)
+        assert row.congestion == 1
+        assert row.send_recv == 256
+        assert row.av_msg_lgth == 1024  # O(L): never combined
+        assert row.av_act_proc == 256
+
+    def test_br_lin_power_of_two_case(self):
+        row = figure2_row("Br_Lin", p=256, s=16, L=1024)
+        assert row.algorithm == "Br_Lin(s=2^l)"
+        assert row.av_msg_lgth == 16 * 1024  # O(sL)
+
+    def test_br_lin_non_power_case(self):
+        row = figure2_row("Br_Lin", p=256, s=15, L=1024)
+        assert row.algorithm == "Br_Lin(s!=2^l)"
+        assert row.av_msg_lgth == pytest.approx(15 * 1024 / 8)  # O(sL/log p)
+
+    def test_non_power_grows_activity_faster(self):
+        pow2 = figure2_row("Br_Lin", p=256, s=16, L=1024)
+        odd = figure2_row("Br_Lin", p=256, s=15, L=1024)
+        assert odd.av_act_proc > pow2.av_act_proc
+        assert odd.av_msg_lgth < pow2.av_msg_lgth
+
+
+class TestScalingRelations:
+    def test_two_step_congestion_linear_in_s(self):
+        a = figure2_row("2-Step", 256, 16, 1024)
+        b = figure2_row("2-Step", 256, 32, 1024)
+        assert b.congestion / a.congestion == pytest.approx(2.0)
+
+    def test_pers_alltoall_send_recv_linear_in_p(self):
+        a = figure2_row("PersAlltoAll", 128, 16, 1024)
+        b = figure2_row("PersAlltoAll", 256, 16, 1024)
+        assert b.send_recv / a.send_recv == pytest.approx(2.0)
+
+    def test_br_lin_wait_logarithmic_in_p(self):
+        a = figure2_row("Br_Lin", 64, 9, 1024)
+        b = figure2_row("Br_Lin", 4096, 9, 1024)
+        assert b.wait / a.wait == pytest.approx(2.0)  # log 4096 / log 64
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(AlgorithmError):
+            figure2_row("Br_xy_source", 256, 16, 1024)
+
+    def test_invalid_point(self):
+        with pytest.raises(AlgorithmError):
+            figure2_row("2-Step", 256, 0, 1024)
+        with pytest.raises(AlgorithmError):
+            figure2_row("2-Step", 256, 300, 1024)
+
+    def test_as_dict_keys(self):
+        row = figure2_row("2-Step", 64, 4, 256)
+        assert set(row.as_dict()) == {
+            "congestion",
+            "wait",
+            "send_recv",
+            "av_msg_lgth",
+            "av_act_proc",
+        }
+
+    def test_registry_has_three_rows(self):
+        assert set(FIGURE2_ALGORITHMS) == {"2-Step", "PersAlltoAll", "Br_Lin"}

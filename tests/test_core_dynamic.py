@@ -1,0 +1,112 @@
+"""Unit tests for the dynamic-broadcasting session API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import DynamicBroadcastSession
+from repro.distributions import RandomDistribution
+from repro.errors import ConfigurationError
+from repro.machines import t3d
+
+
+class TestConstruction:
+    def test_fixed_needs_algorithm(self, small_paragon):
+        with pytest.raises(ConfigurationError):
+            DynamicBroadcastSession(small_paragon, strategy="fixed")
+
+    def test_unknown_strategy_rejected(self, small_paragon):
+        with pytest.raises(ConfigurationError):
+            DynamicBroadcastSession(small_paragon, strategy="magic")
+
+
+class TestRounds:
+    def test_history_accumulates(self, square_paragon):
+        session = DynamicBroadcastSession(
+            square_paragon, strategy="fixed", algorithm="Br_Lin"
+        )
+        for s in (5, 20, 50):
+            sources = RandomDistribution(seed=s).generate(square_paragon, s)
+            session.broadcast(sources, message_size=2048)
+        assert session.rounds == 3
+        assert [r.s for r in session.history] == [5, 20, 50]
+        assert session.total_ms == pytest.approx(
+            sum(r.elapsed_ms for r in session.history)
+        )
+        assert session.algorithms_used() == ["Br_Lin"]
+
+    def test_selector_strategy_adapts_to_s(self, square_paragon):
+        session = DynamicBroadcastSession(square_paragon, strategy="selector")
+        # moderate s inside the repositioning regime
+        session.broadcast(range(30), message_size=4096)
+        # s >= p/2: repositioning disabled by condition 1
+        session.broadcast(range(80), message_size=4096)
+        assert session.history[0].algorithm == "Repos_xy_source"
+        assert session.history[1].algorithm == "Br_xy_source"
+
+    def test_predictive_strategy_records_prediction(self, square_paragon):
+        session = DynamicBroadcastSession(
+            square_paragon,
+            strategy="predictive",
+            candidates=("Br_Lin", "Br_xy_source"),
+        )
+        result = session.broadcast(range(0, 100, 7), message_size=2048)
+        record = session.history[0]
+        assert record.predicted_ms is not None
+        # the model underestimates only by contention
+        assert record.elapsed_ms >= record.predicted_ms - 1e-9
+        assert result.elapsed_ms == record.elapsed_ms
+
+    def test_predictive_skips_unsupported_candidates(self):
+        machine = t3d(32)
+        session = DynamicBroadcastSession(
+            machine,
+            strategy="predictive",
+            candidates=("Br_xy_source", "Br_Lin"),  # first is mesh-only
+        )
+        session.broadcast(range(8), message_size=1024)
+        assert session.history[0].algorithm == "Br_Lin"
+
+    def test_predictive_with_no_valid_candidates(self):
+        machine = t3d(32)
+        session = DynamicBroadcastSession(
+            machine, strategy="predictive", candidates=("Br_xy_source",)
+        )
+        with pytest.raises(ConfigurationError):
+            session.broadcast(range(4), message_size=1024)
+
+    def test_summary_mentions_every_round(self, small_paragon):
+        session = DynamicBroadcastSession(
+            small_paragon, strategy="fixed", algorithm="Br_Lin"
+        )
+        session.broadcast((0, 5), message_size=256)
+        session.broadcast((1, 2, 3), message_size=256)
+        text = session.summary()
+        assert "round 0" in text
+        assert "round 1" in text
+        assert "Br_Lin" in text
+
+
+class TestStrategyQuality:
+    def test_predictive_never_loses_badly_to_fixed(self, square_paragon):
+        """Predictive choice should be within a small factor of any
+        fixed candidate over a mixed workload."""
+        candidates = ("Br_Lin", "Br_xy_source")
+        workload = [
+            (RandomDistribution(seed=i).generate(square_paragon, s), 4096)
+            for i, s in enumerate((10, 40, 80))
+        ]
+        totals = {}
+        for name in candidates:
+            session = DynamicBroadcastSession(
+                square_paragon, strategy="fixed", algorithm=name
+            )
+            for sources, L in workload:
+                session.broadcast(sources, L)
+            totals[name] = session.total_ms
+        adaptive = DynamicBroadcastSession(
+            square_paragon, strategy="predictive", candidates=candidates
+        )
+        for sources, L in workload:
+            adaptive.broadcast(sources, L)
+        assert adaptive.total_ms <= 1.1 * min(totals.values())

@@ -1,0 +1,111 @@
+"""Unit tests for the closed-form prediction model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BroadcastProblem, run_broadcast
+from repro.core.predict import predict_broadcast_time, predict_schedule_time
+from repro.core.schedule import Schedule, Transfer
+from repro.distributions import DISTRIBUTIONS
+from repro.machines import t3d
+
+
+class TestPrimitive:
+    def test_single_transfer_matches_hand_computation(self, line_machine):
+        problem = BroadcastProblem(line_machine, (0,), message_size=100)
+        sched = Schedule(problem, algorithm="t")
+        sched.add_round([Transfer(0, 3, frozenset({0}))])
+        predicted = predict_schedule_time(sched)
+        # o_s 10 + wire (3 hops * 0.1 + 100 * 0.01) + o_r 5 + copy 2
+        assert predicted == pytest.approx(18.3)
+
+    def test_empty_schedule_is_zero(self, line_machine):
+        problem = BroadcastProblem(line_machine, (0,), message_size=100)
+        assert predict_schedule_time(Schedule(problem)) == 0.0
+
+    def test_dependency_chain_accumulates(self, line_machine):
+        problem = BroadcastProblem(line_machine, (0,), message_size=100)
+        sched = Schedule(problem, algorithm="t")
+        sched.add_round([Transfer(0, 1, frozenset({0}))])
+        sched.add_round([Transfer(1, 2, frozenset({0}))])
+        two_hop = predict_schedule_time(sched)
+        one = Schedule(problem, algorithm="t")
+        one.add_round([Transfer(0, 1, frozenset({0}))])
+        assert two_hop > predict_schedule_time(one)
+
+    def test_collective_rounds_use_fast_tier(self):
+        machine = t3d(16)
+        problem = BroadcastProblem(machine, (0,), message_size=4096)
+        plain = Schedule(problem, algorithm="p")
+        plain.add_round([Transfer(0, 1, frozenset({0}))])
+        lib = Schedule(problem, algorithm="l")
+        lib.add_round([Transfer(0, 1, frozenset({0}))], collective=True)
+        assert predict_schedule_time(lib) < predict_schedule_time(plain)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize(
+        "name", ["Br_Lin", "Br_xy_source", "2-Step", "PersAlltoAll"]
+    )
+    def test_prediction_lower_bounds_simulation(self, name, square_paragon):
+        """The model omits contention, so sim >= prediction (within eps)."""
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 30)
+        problem = BroadcastProblem(square_paragon, src, message_size=4096)
+        sim = run_broadcast(problem, name).elapsed_us
+        pred = predict_broadcast_time(problem, name)
+        assert sim >= pred - 1e-6
+
+    @pytest.mark.parametrize(
+        "name", ["Br_Lin", "Br_xy_source", "2-Step", "PersAlltoAll"]
+    )
+    def test_prediction_is_tight_on_light_contention(self, name, square_paragon):
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 30)
+        problem = BroadcastProblem(square_paragon, src, message_size=4096)
+        sim = run_broadcast(problem, name).elapsed_us
+        pred = predict_broadcast_time(problem, name)
+        assert sim <= 1.5 * pred
+
+    def test_prediction_equals_contention_free_simulation_closely(
+        self, square_paragon
+    ):
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 20)
+        problem = BroadcastProblem(square_paragon, src, message_size=2048)
+        sim_off = run_broadcast(
+            problem, "2-Step", contention=False
+        ).elapsed_us
+        pred = predict_broadcast_time(problem, "2-Step")
+        assert sim_off == pytest.approx(pred, rel=0.05)
+
+    def test_contention_attribution_ranks_flood_highest(self, square_paragon):
+        """sim/pred measures contention-boundness: Naive >> Br_Lin."""
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 40)
+        problem = BroadcastProblem(square_paragon, src, message_size=16384)
+
+        def blowup(name):
+            return (
+                run_broadcast(problem, name).elapsed_us
+                / predict_broadcast_time(problem, name)
+            )
+
+        assert blowup("Naive_Independent") > blowup("Br_Lin") + 0.3
+
+    def test_prediction_orders_algorithms_like_simulation(self, square_paragon):
+        src = DISTRIBUTIONS["E"].generate(square_paragon, 30)
+        problem = BroadcastProblem(square_paragon, src, message_size=4096)
+        names = ["Br_xy_source", "Br_Lin", "2-Step"]
+        sim_order = sorted(
+            names, key=lambda n: run_broadcast(problem, n).elapsed_us
+        )
+        pred_order = sorted(
+            names, key=lambda n: predict_broadcast_time(problem, n)
+        )
+        assert sim_order == pred_order
+
+    def test_t3d_prediction_uses_seed_mapping(self):
+        machine = t3d(64)
+        src = DISTRIBUTIONS["E"].generate(machine, 16)
+        problem = BroadcastProblem(machine, src, message_size=4096)
+        a = predict_broadcast_time(problem, "Br_Lin", seed=0)
+        b = predict_broadcast_time(problem, "Br_Lin", seed=1)
+        assert a != b  # different placements -> different hop counts

@@ -1,0 +1,71 @@
+"""Unit tests for the §5.2 recommendation logic."""
+
+from __future__ import annotations
+
+from repro.core import BroadcastProblem, run_broadcast
+from repro.core.selector import recommend
+from repro.machines import paragon, t3d
+
+
+class TestParagonConditions:
+    def test_all_conditions_hold_recommends_repositioning(self):
+        machine = paragon(16, 16)
+        problem = BroadcastProblem(machine, tuple(range(60)), message_size=4096)
+        rec = recommend(problem)
+        assert rec.algorithm == "Repos_xy_source"
+        assert rec.repositioning
+
+    def test_too_many_sources_disables_repositioning(self):
+        machine = paragon(16, 16)
+        problem = BroadcastProblem(machine, tuple(range(200)), message_size=4096)
+        rec = recommend(problem)
+        assert rec.algorithm == "Br_xy_source"
+        assert not rec.repositioning
+
+    def test_small_machine_disables_repositioning(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(machine, (0, 5), message_size=4096)
+        assert recommend(problem).algorithm == "Br_xy_source"
+
+    def test_tiny_messages_disable_repositioning(self):
+        machine = paragon(16, 16)
+        problem = BroadcastProblem(machine, tuple(range(60)), message_size=128)
+        assert recommend(problem).algorithm == "Br_xy_source"
+
+    def test_huge_messages_disable_repositioning(self):
+        machine = paragon(16, 16)
+        problem = BroadcastProblem(
+            machine, tuple(range(60)), message_size=64 * 1024
+        )
+        assert recommend(problem).algorithm == "Br_xy_source"
+
+    def test_reasons_mention_each_condition(self):
+        machine = paragon(16, 16)
+        problem = BroadcastProblem(machine, tuple(range(60)), message_size=4096)
+        text = " ".join(recommend(problem).reasons)
+        assert "condition 1" in text
+        assert "condition 2" in text
+        assert "condition 3" in text
+
+
+class TestT3D:
+    def test_t3d_recommends_alltoall(self):
+        problem = BroadcastProblem(t3d(128), tuple(range(32)), message_size=4096)
+        rec = recommend(problem)
+        assert rec.algorithm == "MPI_Alltoall"
+        assert not rec.repositioning
+
+
+class TestRecommendationQuality:
+    def test_recommended_beats_worst_choice_on_cross(self):
+        """The recommendation must actually be good where the paper says
+        it matters: a hard distribution in the repositioning regime."""
+        from repro.distributions import DISTRIBUTIONS
+
+        machine = paragon(16, 16)
+        src = DISTRIBUTIONS["Cr"].generate(machine, 75)
+        problem = BroadcastProblem(machine, src, message_size=6144)
+        rec = recommend(problem)
+        t_rec = run_broadcast(problem, rec.algorithm).elapsed_us
+        t_naive = run_broadcast(problem, "2-Step").elapsed_us
+        assert t_rec < t_naive

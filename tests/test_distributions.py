@@ -1,0 +1,184 @@
+"""Unit tests for the §4 source distributions (example-based)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    DISTRIBUTIONS,
+    get_distribution,
+    list_distributions,
+)
+from repro.distributions.ascii_art import render_grid, render_placement
+from repro.errors import DistributionError
+from repro.machines import paragon, t3d
+
+
+@pytest.fixture
+def mesh10():
+    return paragon(10, 10)
+
+
+def cells_of(machine, ranks):
+    rows, cols = machine.logical_grid
+    return {divmod(r, cols) for r in ranks}
+
+
+class TestRowDistribution:
+    def test_r30_fills_three_rows(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["R"].generate(mesh10, 30))
+        rows_used = {r for r, _ in cells}
+        assert rows_used == {0, 3, 6}  # evenly spaced over 10 rows
+        assert all(sum(1 for r, _ in cells if r == row) == 10 for row in rows_used)
+
+    def test_r20_uses_rows_0_and_5(self, mesh10):
+        """The paper's R(20) example: first and sixth row."""
+        cells = cells_of(mesh10, DISTRIBUTIONS["R"].generate(mesh10, 20))
+        assert {r for r, _ in cells} == {0, 5}
+
+    def test_partial_last_row(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["R"].generate(mesh10, 25))
+        by_row = {}
+        for r, c in cells:
+            by_row.setdefault(r, set()).add(c)
+        counts = sorted(by_row.values(), key=len)
+        assert len(counts[0]) == 5  # last row partial
+        assert len(counts[-1]) == 10
+
+
+class TestColumnDistribution:
+    def test_c30_is_transpose_of_r30(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["C"].generate(mesh10, 30))
+        cols_used = {c for _, c in cells}
+        assert cols_used == {0, 3, 6}
+
+
+class TestEqualDistribution:
+    def test_origin_is_always_a_source(self, mesh10):
+        for s in (1, 7, 50, 100):
+            ranks = DISTRIBUTIONS["E"].generate(mesh10, s)
+            assert 0 in ranks
+
+    def test_spacing_mixes_floor_and_ceil(self, mesh10):
+        ranks = DISTRIBUTIONS["E"].generate(mesh10, 30)
+        gaps = {b - a for a, b in zip(ranks, ranks[1:])}
+        assert gaps <= {3, 4}  # p/s = 3.33
+
+    def test_s_equals_p_fills_machine(self, mesh10):
+        assert DISTRIBUTIONS["E"].generate(mesh10, 100) == tuple(range(100))
+
+
+class TestDiagonals:
+    def test_dr_includes_main_diagonal(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["Dr"].generate(mesh10, 10))
+        assert cells == {(i, i) for i in range(10)}
+
+    def test_dl_runs_top_right_to_bottom_left(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["Dl"].generate(mesh10, 10))
+        assert cells == {(i, 9 - i) for i in range(10)}
+
+    def test_diagonals_put_equal_sources_in_each_row(self, mesh10):
+        for key in ("Dr", "Dl"):
+            cells = cells_of(mesh10, DISTRIBUTIONS[key].generate(mesh10, 30))
+            per_row = [sum(1 for r, _ in cells if r == row) for row in range(10)]
+            assert all(v == 3 for v in per_row)
+
+    def test_wraparound_on_rectangular_grid(self):
+        machine = paragon(4, 6)
+        cells = cells_of(machine, DISTRIBUTIONS["Dr"].generate(machine, 8))
+        assert len(cells) == 8  # no duplicate collapse
+
+
+class TestBand:
+    def test_square_mesh_single_band(self, mesh10):
+        """b = ceil(c/r) = 1 on a square mesh; width = ceil(s/r)."""
+        cells = cells_of(mesh10, DISTRIBUTIONS["B"].generate(mesh10, 30))
+        # width-3 band hugging the main diagonal (with wraparound)
+        for r, c in cells:
+            assert (c - r) % 10 in {0, 1, 2}
+
+    def test_wide_mesh_multiple_bands(self):
+        machine = paragon(4, 12)
+        cells = cells_of(machine, DISTRIBUTIONS["B"].generate(machine, 12))
+        starts = {(c - r) % 12 for r, c in cells}
+        assert len(starts) >= 3  # b = 3 bands
+
+
+class TestCross:
+    def test_cr30_shape(self, mesh10):
+        """Figure 1: two full rows plus partial columns."""
+        cells = cells_of(mesh10, DISTRIBUTIONS["Cr"].generate(mesh10, 30))
+        full_rows = [
+            row
+            for row in range(10)
+            if sum(1 for r, _ in cells if r == row) == 10
+        ]
+        assert len(full_rows) == 2
+        # the remaining 10 sources sit in columns
+        leftover = [c for r, c in cells if r not in full_rows]
+        assert len(leftover) == 10
+        assert len(set(leftover)) <= 2  # at most two columns
+
+
+class TestSquareBlock:
+    def test_sq25_is_5x5_corner_block(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["Sq"].generate(mesh10, 25))
+        assert cells == {(r, c) for r in range(5) for c in range(5)}
+
+    def test_column_by_column_fill(self, mesh10):
+        cells = cells_of(mesh10, DISTRIBUTIONS["Sq"].generate(mesh10, 7))
+        # ceil(sqrt(7)) = 3: first column 3, second column 3, third 1
+        assert cells == {(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1), (0, 2)}
+
+    def test_tall_block_clamped_to_rows(self):
+        machine = paragon(3, 12)
+        cells = cells_of(machine, DISTRIBUTIONS["Sq"].generate(machine, 16))
+        assert max(r for r, _ in cells) <= 2
+
+
+class TestRandom:
+    def test_seed_determinism(self, mesh10):
+        from repro.distributions import RandomDistribution
+
+        a = RandomDistribution(seed=5).generate(mesh10, 20)
+        b = RandomDistribution(seed=5).generate(mesh10, 20)
+        c = RandomDistribution(seed=6).generate(mesh10, 20)
+        assert a == b
+        assert a != c
+
+
+class TestRegistry:
+    def test_all_keys_resolve(self):
+        for key in list_distributions():
+            assert get_distribution(key).key == key
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(DistributionError):
+            get_distribution("ZZ")
+
+    def test_paper_keys_present(self):
+        assert {"R", "C", "E", "Dr", "Dl", "B", "Cr", "Sq"} <= set(
+            list_distributions()
+        )
+
+
+class TestValidationAndRendering:
+    def test_infeasible_s_rejected(self, mesh10):
+        with pytest.raises(DistributionError):
+            DISTRIBUTIONS["R"].generate(mesh10, 0)
+        with pytest.raises(DistributionError):
+            DISTRIBUTIONS["R"].generate(mesh10, 101)
+
+    def test_t3d_uses_logical_grid(self):
+        machine = t3d(32)  # logical 4x8
+        ranks = DISTRIBUTIONS["R"].generate(machine, 8)
+        assert ranks == tuple(range(8))  # one full logical row
+
+    def test_render_marks_sources(self, mesh10):
+        art = render_grid(3, 3, [0, 4, 8])
+        assert art.splitlines() == ["* . .", ". * .", ". . *"]
+
+    def test_render_placement_titled(self, mesh10):
+        ranks = DISTRIBUTIONS["R"].generate(mesh10, 10)
+        art = render_placement(mesh10, ranks, title="row")
+        assert art.startswith("row (10 sources on 10x10)")

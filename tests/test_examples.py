@@ -1,0 +1,92 @@
+"""Smoke tests: every example script runs and tells its story.
+
+The examples are part of the public deliverable; these tests execute
+them as subprocesses (the way a user would) and assert on the narrative
+output, not just the exit code.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    """Run one example script; returns stdout, fails the test on error."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestQuickstart:
+    def test_tells_the_whole_story(self):
+        out = run_example("quickstart.py")
+        assert "Br_Lin" in out
+        assert "congestion" in out
+        assert "recommended algorithm" in out
+        assert "Repos_xy_source" in out  # 30 < p/2, p > 16, L in range
+
+
+class TestDistributionExplorer:
+    def test_renders_all_eight_distributions(self):
+        out = run_example("distribution_explorer.py", "20")
+        for key in ("R:", "C:", "E:", "Dr:", "Dl:", "B:", "Cr:", "Sq:"):
+            assert key in out
+        assert "holders after each round" in out
+
+    def test_custom_source_count(self):
+        out = run_example("distribution_explorer.py", "12")
+        assert "s = 12" in out
+
+
+class TestLoadBalancing:
+    def test_reports_repositioning_gains(self):
+        out = run_example("load_balancing.py")
+        assert "repos gain" in out
+        assert "hot region" in out
+        # the gain column must be positive for larger blocks (Figure 9)
+        lines = [ln for ln in out.splitlines() if ln.strip().endswith("%")]
+        assert any(
+            float(ln.rsplit(None, 1)[-1].rstrip("%")) > 5.0 for ln in lines
+        )
+
+
+class TestMachineComparison:
+    def test_shows_the_inversion(self):
+        out = run_example("machine_comparison.py")
+        assert "best on the Paragon:" in out
+        assert "best on the T3D:     MPI_Alltoall" in out
+        paragon_line = next(
+            ln for ln in out.splitlines() if ln.startswith("best on the Paragon")
+        )
+        assert "Br_" in paragon_line  # a combining algorithm wins there
+
+
+class TestHotspotVisualizer:
+    def test_renders_three_timelines(self):
+        out = run_example("hotspot_visualizer.py")
+        assert out.count("---") >= 6  # three algorithm headers
+        assert "congestion=" in out
+        assert "rank" in out
+        # the gather hot spot shows as a burst of receives at rank 0
+        assert "rrrr" in out
+
+
+@pytest.mark.slow
+class TestDynamicBroadcasting:
+    def test_full_session_narrative(self):
+        out = run_example("dynamic_broadcasting.py")
+        assert "total" in out
+        assert "uncoordinated flood costs" in out
+        assert "strategy=predictive" in out
+        assert "predicted" in out

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+from __future__ import annotations
+
+from repro.core import BroadcastProblem, run_broadcast
+from repro.metrics.timeline import rank_intervals, render_timeline
+from repro.simulator.trace import Tracer
+
+
+def traced_run(machine, problem, algorithm):
+    tracer = Tracer(kinds=("send", "recv"))
+    run_broadcast(problem, algorithm, tracer=tracer)
+    return tracer
+
+
+class TestRankIntervals:
+    def test_send_intervals_extracted(self, small_paragon, small_problem):
+        tracer = traced_run(small_paragon, small_problem, "Br_Lin")
+        intervals = rank_intervals(tracer)
+        assert intervals  # someone sent something
+        for spans in intervals.values():
+            for start, end, kind in spans:
+                assert end >= start
+                assert kind in ("send", "recv")
+
+    def test_intervals_sorted_per_rank(self, small_paragon, small_problem):
+        tracer = traced_run(small_paragon, small_problem, "PersAlltoAll")
+        for spans in rank_intervals(tracer).values():
+            starts = [s for s, _, _ in spans]
+            assert starts == sorted(starts)
+
+    def test_sources_appear_as_senders(self, small_paragon, small_problem):
+        tracer = traced_run(small_paragon, small_problem, "2-Step")
+        intervals = rank_intervals(tracer)
+        for src in small_problem.sources:
+            if src == 0:
+                continue  # the root only receives in the gather
+            assert any(kind == "send" for _, _, kind in intervals[src])
+
+
+class TestRenderTimeline:
+    def test_renders_one_row_per_rank(self, small_paragon, small_problem):
+        tracer = traced_run(small_paragon, small_problem, "Br_Lin")
+        art = render_timeline(tracer, p=small_paragon.p, width=60)
+        lines = art.splitlines()
+        assert len(lines) == small_paragon.p + 1  # header + rows
+        assert all("|" in line for line in lines[1:])
+
+    def test_empty_trace(self):
+        art = render_timeline(Tracer(), p=4)
+        assert art == "(no traced activity)"
+
+    def test_subsampling_large_machines(self):
+        from repro.machines import paragon
+
+        machine = paragon(10, 10)
+        problem = BroadcastProblem(machine, (0, 50), message_size=512)
+        tracer = traced_run(machine, problem, "Br_Lin")
+        art = render_timeline(tracer, p=100, max_ranks=10, width=50)
+        lines = art.splitlines()
+        assert len(lines) <= 13  # header + ~10 sampled + endpoints
+        assert any("rank    0 " in line for line in lines)
+        assert any("rank   99 " in line for line in lines)
+
+    def test_marks_present(self, small_paragon, small_problem):
+        tracer = traced_run(small_paragon, small_problem, "Br_Lin")
+        art = render_timeline(tracer, p=small_paragon.p)
+        assert "-" in art  # transmissions
+        assert "r" in art or "+" in art  # receive completions

@@ -1,0 +1,71 @@
+"""Unit tests for rank→node mappings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import (
+    IdentityMapping,
+    Mesh2D,
+    RandomMapping,
+    SnakeMapping,
+    Torus3D,
+)
+
+
+class TestIdentityMapping:
+    def test_rank_equals_node(self):
+        mapping = IdentityMapping(Mesh2D(3, 3))
+        for rank in range(9):
+            assert mapping.node_of(rank) == rank
+            assert mapping.rank_of(rank) == rank
+
+
+class TestSnakeMapping:
+    def test_even_rows_left_to_right(self):
+        topo = Mesh2D(3, 4)
+        mapping = SnakeMapping(topo)
+        # rank order: row0 L->R, row1 R->L, row2 L->R
+        expected_nodes = [0, 1, 2, 3, 7, 6, 5, 4, 8, 9, 10, 11]
+        assert [mapping.node_of(r) for r in range(12)] == expected_nodes
+
+    def test_consecutive_ranks_are_physical_neighbors(self):
+        topo = Mesh2D(5, 6)
+        mapping = SnakeMapping(topo)
+        for rank in range(topo.num_nodes - 1):
+            u = mapping.node_of(rank)
+            v = mapping.node_of(rank + 1)
+            assert topo.has_wire_link(u, v), (rank, u, v)
+
+    def test_requires_mesh(self):
+        with pytest.raises(ConfigurationError):
+            SnakeMapping(Torus3D(2, 2, 2))
+
+
+class TestRandomMapping:
+    def test_is_permutation(self):
+        mapping = RandomMapping(Torus3D(4, 2, 2), seed=7)
+        nodes = [mapping.node_of(r) for r in range(16)]
+        assert sorted(nodes) == list(range(16))
+
+    def test_seed_determinism(self):
+        topo = Torus3D(4, 2, 2)
+        a = RandomMapping(topo, seed=7)
+        b = RandomMapping(topo, seed=7)
+        assert [a.node_of(r) for r in range(16)] == [
+            b.node_of(r) for r in range(16)
+        ]
+
+    def test_different_seeds_differ(self):
+        topo = Torus3D(4, 4, 4)
+        a = RandomMapping(topo, seed=0)
+        b = RandomMapping(topo, seed=1)
+        assert [a.node_of(r) for r in range(64)] != [
+            b.node_of(r) for r in range(64)
+        ]
+
+    def test_inverse_consistency(self):
+        mapping = RandomMapping(Torus3D(4, 2, 2), seed=3)
+        for rank in range(16):
+            assert mapping.rank_of(mapping.node_of(rank)) == rank

@@ -1,0 +1,62 @@
+"""Property-based tests (hypothesis) for source distributions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import DISTRIBUTIONS
+from repro.machines import paragon
+
+#: Small-but-varied machine shapes (keep generation cheap).
+shapes = st.tuples(st.integers(2, 12), st.integers(2, 12))
+dist_keys = st.sampled_from(sorted(DISTRIBUTIONS))
+
+
+@settings(max_examples=150, deadline=None)
+@given(shape=shapes, key=dist_keys, data=st.data())
+def test_placement_is_exact_and_in_range(shape, key, data):
+    """Every distribution places exactly s distinct ranks in [0, p)."""
+    machine = paragon(*shape)
+    s = data.draw(st.integers(1, machine.p), label="s")
+    ranks = DISTRIBUTIONS[key].generate(machine, s)
+    assert len(ranks) == s
+    assert len(set(ranks)) == s
+    assert all(0 <= r < machine.p for r in ranks)
+    assert list(ranks) == sorted(ranks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, key=dist_keys, data=st.data())
+def test_placement_is_deterministic(shape, key, data):
+    machine = paragon(*shape)
+    s = data.draw(st.integers(1, machine.p), label="s")
+    dist = DISTRIBUTIONS[key]
+    assert dist.generate(machine, s) == dist.generate(machine, s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_full_machine_placement_is_everyone(shape, data):
+    """s = p must fill the machine for every distribution."""
+    machine = paragon(*shape)
+    key = data.draw(dist_keys, label="key")
+    ranks = DISTRIBUTIONS[key].generate(machine, machine.p)
+    assert ranks == tuple(range(machine.p))
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_diagonals_balance_rows(shape, data):
+    """Dr/Dl place (s // r or so) sources in every row — never lopsided."""
+    machine = paragon(*shape)
+    rows, cols = machine.logical_grid
+    # multiples of the diagonal length fill rows evenly
+    k = data.draw(st.integers(1, max(machine.p // rows, 1)), label="k")
+    s = min(k * rows, machine.p)
+    for key in ("Dr", "Dl"):
+        ranks = DISTRIBUTIONS[key].generate(machine, s)
+        per_row = [0] * rows
+        for rank in ranks:
+            per_row[rank // cols] += 1
+        assert max(per_row) - min(per_row) <= 1

@@ -1,0 +1,54 @@
+"""Unit tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.simulator import Engine, Tracer
+
+
+class TestTracer:
+    def test_engine_records_when_attached(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        engine.trace("ping", value=1)
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record.kind == "ping"
+        assert record.fields == {"value": 1}
+
+    def test_engine_without_tracer_is_noop(self):
+        engine = Engine()
+        engine.trace("ping")  # must not raise
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=("send",))
+        engine = Engine(tracer=tracer)
+        engine.trace("send", n=1)
+        engine.trace("recv", n=2)
+        assert [r.kind for r in tracer] == ["send"]
+
+    def test_of_kind_selects(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        engine.trace("a")
+        engine.trace("b")
+        engine.trace("a")
+        assert len(tracer.of_kind("a")) == 2
+
+    def test_limit_truncates(self):
+        tracer = Tracer(limit=2)
+        engine = Engine(tracer=tracer)
+        for i in range(5):
+            engine.trace("x", i=i)
+        assert len(tracer) == 2
+        assert tracer.truncated
+        assert "truncated" in tracer.dump()
+
+    def test_dump_renders_time_and_fields(self):
+        tracer = Tracer()
+        engine = Engine(tracer=tracer)
+        engine.call_at(2.5, lambda: engine.trace("mark", rank=3))
+        engine.run()
+        dump = tracer.dump()
+        assert "mark" in dump
+        assert "rank=3" in dump
+        assert "2.500" in dump
