@@ -33,7 +33,7 @@ def run_experiment(benchmark, experiment, quick: bool | None = None):
     report = result.report()
     print()
     print(report)
-    REPORTS_DIR.mkdir(exist_ok=True)
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
     slug = result.figure.lower().replace(" ", "_").replace(":", "")
     mode = "quick" if effective_quick else "full"
     (REPORTS_DIR / f"{slug}.{mode}.txt").write_text(report + "\n")

@@ -40,7 +40,8 @@ from repro.distributions import (
     list_distributions,
 )
 from repro.errors import ReproError
-from repro.machines import Machine, MachineParams, paragon, t3d
+from repro.machines import Machine, MachineParams, machine_from_spec, paragon, t3d
+from repro.sweep import ResultCache, SweepExecutor, SweepPoint, SweepSpec
 
 __all__ = [
     "__version__",
@@ -63,4 +64,9 @@ __all__ = [
     "DISTRIBUTIONS",
     "get_distribution",
     "list_distributions",
+    "machine_from_spec",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepPoint",
+    "SweepSpec",
 ]

@@ -5,6 +5,13 @@ Examples::
     python -m repro --machine paragon:10x10 --dist Dr --s 30 --L 4096
     python -m repro --machine t3d:128 --algorithm MPI_Alltoall --s 40
     python -m repro --machine paragon:16x16 --dist Sq --s 49 --timeline
+    python -m repro --machine t3d:128 --s 40 --cache-dir ~/.cache/repro/sweep
+
+Runs route through the sweep executor (see :mod:`repro.sweep`): with
+``--cache-dir`` set, a repeated configuration is answered from the
+on-disk result cache instead of re-simulating; ``--no-cache`` forces
+recomputation.  ``--timeline`` always simulates directly (the tracer
+cannot ride through worker processes or the cache).
 """
 
 from __future__ import annotations
@@ -17,26 +24,17 @@ import repro
 from repro.core.selector import recommend
 from repro.distributions.ascii_art import render_placement
 from repro.errors import ReproError
-from repro.machines import hypercube, paragon, t3d
+from repro.machines import machine_from_spec
 from repro.metrics.timeline import render_timeline
 from repro.simulator.trace import Tracer
+from repro.sweep import ResultCache, SweepExecutor, SweepPoint
 
 __all__ = ["main"]
 
 
 def parse_machine(spec: str) -> "repro.Machine":
     """``paragon:RxC`` | ``t3d:P`` | ``hypercube:P`` → a Machine."""
-    kind, _, size = spec.partition(":")
-    if kind == "paragon":
-        rows, _, cols = size.partition("x")
-        return paragon(int(rows), int(cols))
-    if kind == "t3d":
-        return t3d(int(size))
-    if kind == "hypercube":
-        return hypercube(int(size))
-    raise ReproError(
-        f"unknown machine spec {spec!r}; use paragon:RxC, t3d:P, hypercube:P"
-    )
+    return machine_from_spec(spec)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -66,6 +64,22 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--timeline", action="store_true", help="render the activity timeline"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: $REPRO_SWEEP_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memoize results in this sweep cache directory",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the sweep result cache (no reads, no writes)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -83,9 +97,27 @@ def main(argv: List[str] | None = None) -> int:
         if args.show_sources:
             print(render_placement(machine, sources, title="sources"))
         tracer = Tracer(kinds=("send", "recv")) if args.timeline else None
-        result = repro.run_broadcast(
-            problem, algorithm, seed=args.seed, tracer=tracer
-        )
+        if tracer is None and machine.spec is not None and isinstance(algorithm, str):
+            cache = (
+                ResultCache(args.cache_dir)
+                if args.cache_dir and not args.no_cache
+                else None
+            )
+            executor = SweepExecutor(jobs=args.jobs, cache=cache)
+            point = SweepPoint.from_problem(
+                problem, algorithm, seed=args.seed, distribution=args.dist
+            )
+            result = executor.run([point])[0]
+            if cache is not None and executor.last_report is not None:
+                print(
+                    "cache:      "
+                    + ("hit" if executor.last_report.cached else "miss")
+                    + f" ({args.cache_dir})"
+                )
+        else:
+            result = repro.run_broadcast(
+                problem, algorithm, seed=args.seed, tracer=tracer
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

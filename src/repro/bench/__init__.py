@@ -19,7 +19,24 @@ asserts its checks.
 
 from __future__ import annotations
 
-from repro.bench.runner import measure_problem, sweep
+from repro.bench.runner import (
+    measure_batch,
+    measure_grid,
+    measure_problem,
+    run_batch,
+    sweep,
+    use_executor,
+)
 from repro.bench.types import Check, FigureResult, Series
 
-__all__ = ["Series", "FigureResult", "Check", "measure_problem", "sweep"]
+__all__ = [
+    "Series",
+    "FigureResult",
+    "Check",
+    "measure_problem",
+    "measure_batch",
+    "measure_grid",
+    "run_batch",
+    "sweep",
+    "use_executor",
+]

@@ -6,21 +6,42 @@ Examples::
     python -m repro.bench fig3 fig13      # run two figures (full grids)
     python -m repro.bench --quick all     # smoke-run everything
     python -m repro.bench ablations       # the four ablation benches
+    python -m repro.bench --jobs 4 fig4   # fan the sweep grid out over 4 procs
+    python -m repro.bench --no-cache fig4 # force recomputation
+
+Figure grids run through the sweep executor: ``--jobs`` controls the
+worker-process count (default ``$REPRO_SWEEP_JOBS`` or 1) and results
+are memoized under ``--cache-dir`` (default ``~/.cache/repro/sweep``)
+unless ``--no-cache`` is given.  A progress line after each experiment
+reports how many grid points were served from cache versus computed.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.bench.ablations import ALL_ABLATIONS
 from repro.bench.extensions import ALL_EXTENSIONS
 from repro.bench.figures import ALL_FIGURES
+from repro.bench.runner import use_executor
 from repro.bench.types import FigureResult
+from repro.sweep import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor
 
-__all__ = ["main", "available_experiments"]
+__all__ = ["main", "available_experiments", "build_executor"]
+
+
+def build_executor(
+    jobs: Optional[int], cache_dir: Optional[str], no_cache: bool
+) -> SweepExecutor:
+    """Executor for the CLI flags (``--no-cache`` wins over ``--cache-dir``)."""
+    cache = None
+    if not no_cache and cache_dir:
+        cache = ResultCache(cache_dir)
+    return SweepExecutor(jobs=jobs, cache=cache)
 
 
 def available_experiments() -> Dict[str, Callable[[bool], FigureResult]]:
@@ -68,6 +89,22 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="shrink sweep grids for a fast smoke run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: $REPRO_SWEEP_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help="sweep result cache location (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the sweep result cache (no reads, no writes)",
+    )
     args = parser.parse_args(argv)
 
     table = available_experiments()
@@ -85,15 +122,21 @@ def main(argv: List[str] | None = None) -> int:
         print(f"known: {', '.join(table)}", file=sys.stderr)
         return 2
 
+    executor = build_executor(args.jobs, args.cache_dir, args.no_cache)
     failed: List[str] = []
-    for name in names:
-        start = time.time()
-        result = table[name](args.quick)
-        elapsed = time.time() - start
-        print(result.report())
-        print(f"(ran in {elapsed:.1f}s)\n")
-        if not result.all_passed:
-            failed.append(name)
+    with use_executor(executor):
+        for name in names:
+            start = time.time()
+            before = dataclasses.replace(executor.session)
+            result = table[name](args.quick)
+            elapsed = time.time() - start
+            print(result.report())
+            progress = executor.session.since(before)
+            if progress.total:
+                print(progress.summary())
+            print(f"(ran in {elapsed:.1f}s)\n")
+            if not result.all_passed:
+                failed.append(name)
     if failed:
         print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -11,11 +11,10 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
-from repro.bench.runner import measure_problem, sweep
+from repro.bench.runner import measure_batch, measure_grid, run_batch, sweep
 from repro.bench.types import Check, FigureResult, Series
 from repro.core.analysis import figure2_row
 from repro.core.problem import BroadcastProblem
-from repro.core.runner import run_broadcast
 from repro.distributions import DISTRIBUTIONS
 from repro.distributions.ascii_art import render_placement
 from repro.machines import paragon, t3d
@@ -113,14 +112,18 @@ def fig02(quick: bool = False) -> FigureResult:
         "algorithm vs distribution parameters, equal distribution, p = 256",
     )
     s_lo, s_hi = 16, 32  # both powers of two: the table's s = 2^l row
-    measured: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for name in ("2-Step", "PersAlltoAll", "Br_Lin"):
-        measured[name] = {}
-        for s in (s_lo, s_hi, 15):
-            src = DISTRIBUTIONS["E"].generate(machine, s)
-            problem = BroadcastProblem(machine, src, message_size=1024)
-            metrics = run_broadcast(problem, name).metrics
-            measured[name][s] = metrics.as_dict()
+    names = ("2-Step", "PersAlltoAll", "Br_Lin")
+    grid = [
+        (name, s, BroadcastProblem(
+            machine, DISTRIBUTIONS["E"].generate(machine, s), message_size=1024
+        ))
+        for name in names
+        for s in (s_lo, s_hi, 15)
+    ]
+    runs = run_batch([(problem, name) for name, _s, problem in grid])
+    measured: Dict[str, Dict[int, Dict[str, float]]] = {n: {} for n in names}
+    for (name, s, _problem), run in zip(grid, runs):
+        measured[name][s] = run.metrics.as_dict()
     params = ["congestion", "wait", "send_recv", "av_msg_lgth", "av_act_proc"]
     for s in (s_lo, s_hi):
         series = Series(
@@ -240,11 +243,10 @@ def fig04(quick: bool = False) -> FigureResult:
     sizes = [32, 512, 4096, 16384] if quick else [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
     dist = DISTRIBUTIONS["Dr"]
     sources = dist.generate(machine, 30)
-    curves: Dict[str, List[float]] = {a: [] for a in _FIG3_ALGOS}
-    for L in sizes:
-        problem = BroadcastProblem(machine, sources, message_size=L)
-        for a in _FIG3_ALGOS:
-            curves[a].append(measure_problem(problem, a))
+    curves = measure_grid(
+        [BroadcastProblem(machine, sources, message_size=L) for L in sizes],
+        _FIG3_ALGOS,
+    )
     series = Series(
         "10x10 Paragon, s = 30, right diagonal", "L (bytes)", sizes, curves
     )
@@ -288,16 +290,15 @@ def fig04(quick: bool = False) -> FigureResult:
 def fig05(quick: bool = False) -> FigureResult:
     """Figure 5: machine sizes 4..256, L = 1K, s ~ sqrt(p), right diagonal."""
     sides = [2, 4, 10, 16] if quick else [2, 4, 6, 8, 10, 12, 14, 16]
-    curves: Dict[str, List[float]] = {a: [] for a in _FIG3_ALGOS}
+    problems = []
     p_values = []
     for side in sides:
         machine = paragon(side, side)
         p_values.append(machine.p)
         s = side  # ~ sqrt(p)
         sources = DISTRIBUTIONS["Dr"].generate(machine, s)
-        problem = BroadcastProblem(machine, sources, message_size=1024)
-        for a in _FIG3_ALGOS:
-            curves[a].append(measure_problem(problem, a))
+        problems.append(BroadcastProblem(machine, sources, message_size=1024))
+    curves = measure_grid(problems, _FIG3_ALGOS)
     series = Series(
         "square Paragons, L = 1K, s = sqrt(p), right diagonal",
         "p",
@@ -342,12 +343,15 @@ def fig06(quick: bool = False) -> FigureResult:
     machine = paragon(10, 10)
     keys = ["R", "C", "Dr", "Dl", "E", "B", "Sq", "Cr"]
     algos = ["Br_Lin", "Br_xy_source", "Br_xy_dim"]
-    curves: Dict[str, List[float]] = {a: [] for a in algos}
-    for key in keys:
-        sources = DISTRIBUTIONS[key].generate(machine, 30)
-        problem = BroadcastProblem(machine, sources, message_size=2048)
-        for a in algos:
-            curves[a].append(measure_problem(problem, a))
+    curves = measure_grid(
+        [
+            BroadcastProblem(
+                machine, DISTRIBUTIONS[key].generate(machine, 30), message_size=2048
+            )
+            for key in keys
+        ],
+        algos,
+    )
     series = Series(
         "10x10 Paragon, L = 2K, s = 30", "distribution", keys, curves
     )
@@ -432,14 +436,19 @@ def fig08(quick: bool = False) -> FigureResult:
         (20, 6),
     ]
     s_values = (8, 15, 30)
-    curves: Dict[str, List[float]] = {f"s={s}": [] for s in s_values}
     labels = [f"{r}x{c}" for r, c in shapes]
+    grid = []
     for r, c in shapes:
         machine = paragon(r, c)
         for s in s_values:
             sources = DISTRIBUTIONS["E"].generate(machine, s)
-            problem = BroadcastProblem(machine, sources, message_size=4096)
-            curves[f"s={s}"].append(measure_problem(problem, "Br_Lin"))
+            grid.append(BroadcastProblem(machine, sources, message_size=4096))
+    times = measure_batch([(problem, "Br_Lin") for problem in grid])
+    curves: Dict[str, List[float]] = {f"s={s}": [] for s in s_values}
+    it = iter(times)
+    for _shape in shapes:
+        for s in s_values:
+            curves[f"s={s}"].append(next(it))
     series = Series(
         "120-node Paragon, Br_Lin, equal distribution, L = 4K",
         "dimensions",
@@ -475,13 +484,27 @@ def fig08(quick: bool = False) -> FigureResult:
     return result
 
 
-def _repos_percent_diff(machine, key: str, s: int, L: int) -> float:
-    """Percent gain of Repos_xy_source over Br_xy_source (+ = faster)."""
-    sources = DISTRIBUTIONS[key].generate(machine, s)
-    problem = BroadcastProblem(machine, sources, message_size=L)
-    t_plain = measure_problem(problem, "Br_xy_source")
-    t_repos = measure_problem(problem, "Repos_xy_source")
-    return 100.0 * (t_plain - t_repos) / t_plain
+def _repos_percent_grid(
+    machine, cells: List[tuple]
+) -> List[float]:
+    """Percent gain of Repos_xy_source over Br_xy_source (+ = faster).
+
+    ``cells`` is a list of ``(key, s, L)`` grid cells; both algorithms
+    are measured for every cell in a single batch.
+    """
+    problems = [
+        BroadcastProblem(
+            machine, DISTRIBUTIONS[key].generate(machine, s), message_size=L
+        )
+        for key, s, L in cells
+    ]
+    curves = measure_grid(problems, ["Br_xy_source", "Repos_xy_source"])
+    return [
+        100.0 * (t_plain - t_repos) / t_plain
+        for t_plain, t_repos in zip(
+            curves["Br_xy_source"], curves["Repos_xy_source"]
+        )
+    ]
 
 
 def fig09(quick: bool = False) -> FigureResult:
@@ -489,10 +512,11 @@ def fig09(quick: bool = False) -> FigureResult:
     machine = paragon(16, 16)
     s_values = [16, 75, 192] if quick else [16, 32, 50, 75, 100, 128, 150, 192]
     keys = ["Cr", "Sq", "E", "B"]
-    curves = {
-        key: [_repos_percent_diff(machine, key, s, 6144) for s in s_values]
-        for key in keys
-    }
+    gains = _repos_percent_grid(
+        machine, [(key, s, 6144) for key in keys for s in s_values]
+    )
+    it = iter(gains)
+    curves = {key: [next(it) for _ in s_values] for key in keys}
     series = Series(
         "16x16 Paragon, L = 6K: repositioning gain",
         "s",
@@ -540,10 +564,11 @@ def fig10(quick: bool = False) -> FigureResult:
     machine = paragon(16, 16)
     sizes = [128, 1024, 6144, 16384] if quick else [128, 256, 512, 1024, 2048, 4096, 6144, 8192, 16384]
     keys = ["Cr", "Sq", "E", "B"]
-    curves = {
-        key: [_repos_percent_diff(machine, key, 75, L) for L in sizes]
-        for key in keys
-    }
+    gains = _repos_percent_grid(
+        machine, [(key, 75, L) for key in keys for L in sizes]
+    )
+    it = iter(gains)
+    curves = {key: [next(it) for _ in sizes] for key in keys}
     series = Series(
         "16x16 Paragon, s = 75: repositioning gain",
         "L (bytes)",
@@ -589,15 +614,20 @@ def fig11(quick: bool = False) -> FigureResult:
         "Figure 11", "T3D: MPI_AllGather vs machine size and problem size"
     )
     p_values = [32, 128] if quick else [16, 32, 64, 128, 256]
-    curves_a: Dict[str, List[float]] = {k: [] for k in keys}
+    grid_a = []
     for p in p_values:
         machine = t3d(p)
         s = min(32, p)
         L = (128 * 1024) // s
         for key in keys:
             sources = DISTRIBUTIONS[key].generate(machine, s)
-            problem = BroadcastProblem(machine, sources, message_size=L)
-            curves_a[key].append(measure_problem(problem, "MPI_AllGather"))
+            grid_a.append(BroadcastProblem(machine, sources, message_size=L))
+    times_a = measure_batch([(problem, "MPI_AllGather") for problem in grid_a])
+    curves_a: Dict[str, List[float]] = {k: [] for k in keys}
+    it = iter(times_a)
+    for _p in p_values:
+        for key in keys:
+            curves_a[key].append(next(it))
     result.series.append(
         Series(
             "(a) s = 32, total = 128K, machine size varies",
@@ -608,12 +638,19 @@ def fig11(quick: bool = False) -> FigureResult:
     )
     machine = t3d(128)
     s_values = [8, 32, 128] if quick else [8, 16, 32, 64, 128]
+    grid_b = [
+        BroadcastProblem(
+            machine, DISTRIBUTIONS[key].generate(machine, s), message_size=16384
+        )
+        for s in s_values
+        for key in keys
+    ]
+    times_b = measure_batch([(problem, "MPI_AllGather") for problem in grid_b])
     curves_b: Dict[str, List[float]] = {k: [] for k in keys}
-    for s in s_values:
+    it = iter(times_b)
+    for _s in s_values:
         for key in keys:
-            sources = DISTRIBUTIONS[key].generate(machine, s)
-            problem = BroadcastProblem(machine, sources, message_size=16384)
-            curves_b[key].append(measure_problem(problem, "MPI_AllGather"))
+            curves_b[key].append(next(it))
     result.series.append(
         Series("(b) p = 128, L = 16K, source count varies", "s", s_values, curves_b)
     )
@@ -652,13 +689,21 @@ def fig12(quick: bool = False) -> FigureResult:
     machine = t3d(128)
     keys = ["E", "Dr", "R", "Sq"]
     s_values = [4, 32, 128] if quick else [2, 4, 8, 16, 32, 64, 128]
+    grid = [
+        BroadcastProblem(
+            machine,
+            DISTRIBUTIONS[key].generate(machine, s),
+            message_size=(128 * 1024) // s,
+        )
+        for s in s_values
+        for key in keys
+    ]
+    times = measure_batch([(problem, "MPI_AllGather") for problem in grid])
     curves: Dict[str, List[float]] = {k: [] for k in keys}
-    for s in s_values:
-        L = (128 * 1024) // s
+    it = iter(times)
+    for _s in s_values:
         for key in keys:
-            sources = DISTRIBUTIONS[key].generate(machine, s)
-            problem = BroadcastProblem(machine, sources, message_size=L)
-            curves[key].append(measure_problem(problem, "MPI_AllGather"))
+            curves[key].append(next(it))
     series = Series(
         "128-proc T3D, MPI_AllGather, total = 128K", "s", s_values, curves
     )
@@ -697,12 +742,15 @@ def fig13(quick: bool = False) -> FigureResult:
     )
     result.series.append(series_a)
     keys = ["R", "C", "Dr", "Dl", "E", "B", "Sq", "Cr"]
-    curves_b: Dict[str, List[float]] = {a: [] for a in algos}
-    for key in keys:
-        sources = DISTRIBUTIONS[key].generate(machine, 40)
-        problem = BroadcastProblem(machine, sources, message_size=4096)
-        for a in algos:
-            curves_b[a].append(measure_problem(problem, a))
+    curves_b = measure_grid(
+        [
+            BroadcastProblem(
+                machine, DISTRIBUTIONS[key].generate(machine, 40), message_size=4096
+            )
+            for key in keys
+        ],
+        algos,
+    )
     result.series.append(
         Series("(b) s = 40, L = 4K", "distribution", keys, curves_b)
     )
@@ -750,24 +798,25 @@ def sec52_partitioning(quick: bool = False) -> FigureResult:
     machine = paragon(16, 16)
     keys = ["Cr", "Sq", "E", "B"]
     s_values = [32, 75] if quick else [16, 32, 75, 128]
-    rows = []
-    wins = 0
-    trials = 0
-    curves: Dict[str, List[float]] = {"Repos_xy_source": [], "Part_xy_source": []}
-    labels = []
-    for key in keys:
-        for s in s_values:
-            sources = DISTRIBUTIONS[key].generate(machine, s)
-            problem = BroadcastProblem(machine, sources, message_size=6144)
-            t_repos = measure_problem(problem, "Repos_xy_source")
-            t_part = measure_problem(problem, "Part_xy_source")
-            curves["Repos_xy_source"].append(t_repos)
-            curves["Part_xy_source"].append(t_part)
-            labels.append(f"{key}/s={s}")
-            trials += 1
-            if t_part < t_repos:
-                wins += 1
-            rows.append((key, s, t_repos, t_part))
+    cells = [(key, s) for key in keys for s in s_values]
+    labels = [f"{key}/s={s}" for key, s in cells]
+    curves = measure_grid(
+        [
+            BroadcastProblem(
+                machine, DISTRIBUTIONS[key].generate(machine, s), message_size=6144
+            )
+            for key, s in cells
+        ],
+        ["Repos_xy_source", "Part_xy_source"],
+    )
+    trials = len(cells)
+    wins = sum(
+        1
+        for t_repos, t_part in zip(
+            curves["Repos_xy_source"], curves["Part_xy_source"]
+        )
+        if t_part < t_repos
+    )
     series = Series(
         "16x16 Paragon, L = 6K: repositioning vs partitioning",
         "dist/s",
@@ -800,14 +849,15 @@ def sec52_conditions(quick: bool = False) -> FigureResult:
         "repositioning overhead on a near-ideal input within the regime",
     )
     s_values = [32, 75] if quick else [16, 32, 50, 75, 100]
-    curves: Dict[str, List[float]] = {"Br_xy_source": [], "Repos_xy_source": []}
-    for s in s_values:
-        sources = ideal_row_sources(machine, s)
-        problem = BroadcastProblem(machine, sources, message_size=6144)
-        curves["Br_xy_source"].append(measure_problem(problem, "Br_xy_source"))
-        curves["Repos_xy_source"].append(
-            measure_problem(problem, "Repos_xy_source")
-        )
+    curves = measure_grid(
+        [
+            BroadcastProblem(
+                machine, ideal_row_sources(machine, s), message_size=6144
+            )
+            for s in s_values
+        ],
+        ["Br_xy_source", "Repos_xy_source"],
+    )
     series = Series(
         "16x16 Paragon, ideal row input, L = 6K", "s", s_values, curves
     )
@@ -870,10 +920,7 @@ def sec5_varied_lengths(quick: bool = False) -> FigureResult:
         "Sec 5 varied lengths",
         "non-uniform message lengths preserve the distribution ordering",
     )
-    curves: Dict[str, List[float]] = {}
-    for a in algos:
-        curves[f"{a} (uniform)"] = []
-        curves[f"{a} (varied)"] = []
+    pairs = []
     for key in keys:
         sources = DISTRIBUTIONS[key].generate(machine, 30)
         sizes = {
@@ -884,8 +931,15 @@ def sec5_varied_lengths(quick: bool = False) -> FigureResult:
             machine, sources, message_size=L, sizes=sizes
         )
         for a in algos:
-            curves[f"{a} (uniform)"].append(measure_problem(uniform, a))
-            curves[f"{a} (varied)"].append(measure_problem(varied, a))
+            pairs.append((f"{a} (uniform)", (uniform, a)))
+            pairs.append((f"{a} (varied)", (varied, a)))
+    times = measure_batch([item for _label, item in pairs])
+    curves: Dict[str, List[float]] = {}
+    for a in algos:
+        curves[f"{a} (uniform)"] = []
+        curves[f"{a} (varied)"] = []
+    for (label, _item), t in zip(pairs, times):
+        curves[label].append(t)
     series = Series(
         "10x10 Paragon, s = 30, L ~ U[1K, 3K] vs uniform 2K",
         "distribution",

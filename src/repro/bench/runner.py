@@ -6,19 +6,45 @@ across seeds (identity rank mapping), so one run suffices; on the T3D
 the seed draws a new random virtual→physical mapping — production
 scheduling — so :func:`measure_problem` runs several seeds and averages
 the best, mirroring the paper's methodology.
+
+Since PR 1 every measurement routes through a
+:class:`~repro.sweep.executor.SweepExecutor`: figures batch their whole
+grid into one :func:`measure_batch` / :func:`measure_grid` call, the
+executor fans the points out over worker processes (``--jobs`` /
+``$REPRO_SWEEP_JOBS``) and memoizes results in the on-disk cache.  The
+default executor is serial and uncached, so library behaviour without
+explicit configuration is byte-identical to the original serial loop.
+
+Problems whose machine has no canonical spec (custom parameters — the
+ablations) and algorithm *instances* (rather than registry names) cannot
+be shipped to worker processes; they transparently fall back to direct
+in-process evaluation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Union
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.algorithms.base import BroadcastAlgorithm
 from repro.core.problem import BroadcastProblem
-from repro.core.runner import run_broadcast
+from repro.core.runner import BroadcastResult, run_broadcast
 from repro.distributions.base import SourceDistribution
 from repro.machines.machine import Machine
+from repro.sweep.executor import SweepExecutor
+from repro.sweep.spec import SweepPoint
 
-__all__ = ["measure_problem", "sweep", "T3D_SEEDS", "T3D_BEST"]
+__all__ = [
+    "measure_problem",
+    "measure_batch",
+    "measure_grid",
+    "run_batch",
+    "sweep",
+    "active_executor",
+    "use_executor",
+    "T3D_SEEDS",
+    "T3D_BEST",
+]
 
 #: Seeds drawn for machines with seed-dependent mappings (the T3D).
 T3D_SEEDS = (0, 1, 2, 3, 4)
@@ -26,6 +52,165 @@ T3D_SEEDS = (0, 1, 2, 3, 4)
 T3D_BEST = 4
 
 Algorithm = Union[str, BroadcastAlgorithm]
+#: One measurement request: a problem and the algorithm to time on it.
+MeasureItem = Tuple[BroadcastProblem, Algorithm]
+
+#: Executor installed by :func:`use_executor`; ``None`` means "build a
+#: fresh default" (serial unless ``$REPRO_SWEEP_JOBS`` says otherwise,
+#: no cache) per batch.
+_installed_executor: Optional[SweepExecutor] = None
+
+
+def active_executor() -> SweepExecutor:
+    """The executor measurements currently route through."""
+    if _installed_executor is not None:
+        return _installed_executor
+    return SweepExecutor()
+
+
+@contextmanager
+def use_executor(executor: SweepExecutor) -> Iterator[SweepExecutor]:
+    """Route all measurements inside the ``with`` body through ``executor``.
+
+    This is how the CLIs wire ``--jobs`` / ``--cache-dir`` / ``--no-cache``
+    into figure functions without threading an argument through every
+    experiment signature.
+    """
+    global _installed_executor
+    previous = _installed_executor
+    _installed_executor = executor
+    try:
+        yield executor
+    finally:
+        _installed_executor = previous
+
+
+def _seeds_for(machine: Machine) -> Tuple[int, ...]:
+    """The run seeds the paper's methodology demands for this machine."""
+    return (0,) if machine.topology_stable_ranks else T3D_SEEDS
+
+
+def _aggregate_ms(times_ms: List[float]) -> float:
+    """Average of the best runs (single-seed machines: the one run)."""
+    if len(times_ms) == 1:
+        return times_ms[0]
+    best = sorted(times_ms)[:T3D_BEST]
+    return sum(best) / len(best)
+
+
+def _measure_direct(
+    problem: BroadcastProblem, algorithm: Algorithm, contention: bool
+) -> float:
+    """In-process fallback for problems the executor cannot ship."""
+    times = [
+        run_broadcast(
+            problem, algorithm, seed=seed, contention=contention
+        ).elapsed_ms
+        for seed in _seeds_for(problem.machine)
+    ]
+    return _aggregate_ms(times)
+
+
+def measure_batch(
+    items: Sequence[MeasureItem], *, contention: bool = True
+) -> List[float]:
+    """Completion times in milliseconds for a whole grid of measurements.
+
+    The workhorse of every figure: all sweep-able items expand into
+    per-seed :class:`~repro.sweep.spec.SweepPoint`\\ s and go through the
+    active executor in **one** batch — maximum fan-out, one cache pass —
+    then collapse back to the paper's best-seeds average per item.
+    Returns one value per item, in order.
+    """
+    points: List[SweepPoint] = []
+    # Per item: (start, count) into ``points``, or None = direct fallback.
+    plan: List[Optional[Tuple[int, int]]] = []
+    for problem, algorithm in items:
+        if problem.machine.spec is not None and isinstance(algorithm, str):
+            seeds = _seeds_for(problem.machine)
+            plan.append((len(points), len(seeds)))
+            points.extend(
+                SweepPoint.from_problem(
+                    problem, algorithm, seed=seed, contention=contention
+                )
+                for seed in seeds
+            )
+        else:
+            plan.append(None)
+
+    results: List[BroadcastResult] = (
+        active_executor().run(points) if points else []
+    )
+
+    out: List[float] = []
+    for (problem, algorithm), entry in zip(items, plan):
+        if entry is None:
+            out.append(_measure_direct(problem, algorithm, contention))
+        else:
+            start, count = entry
+            out.append(
+                _aggregate_ms(
+                    [r.elapsed_ms for r in results[start : start + count]]
+                )
+            )
+    return out
+
+
+def measure_grid(
+    problems: Sequence[BroadcastProblem],
+    algorithms: Sequence[Algorithm],
+    *,
+    contention: bool = True,
+) -> Dict[str, List[float]]:
+    """Curves of one y-value per problem, for several algorithms.
+
+    ``problems`` is the x-axis (one problem per x value); the result maps
+    each algorithm's name to its curve.  Everything is measured in a
+    single executor batch.
+    """
+    times = measure_batch(
+        [(problem, algorithm) for problem in problems for algorithm in algorithms],
+        contention=contention,
+    )
+    curves: Dict[str, List[float]] = {_name(a): [] for a in algorithms}
+    it = iter(times)
+    for _problem in problems:
+        for algorithm in algorithms:
+            curves[_name(algorithm)].append(next(it))
+    return curves
+
+
+def run_batch(
+    items: Sequence[MeasureItem],
+    *,
+    seed: int = 0,
+    contention: bool = True,
+) -> List[BroadcastResult]:
+    """Full :class:`BroadcastResult`\\ s (metrics included) for a grid.
+
+    Single-seed semantics — the metric-table experiments (Figure 2) want
+    counters from one deterministic run, not a seed average.  Items the
+    executor cannot ship are evaluated directly.
+    """
+    points: List[SweepPoint] = []
+    slots: List[Optional[int]] = []
+    for problem, algorithm in items:
+        if problem.machine.spec is not None and isinstance(algorithm, str):
+            slots.append(len(points))
+            points.append(
+                SweepPoint.from_problem(
+                    problem, algorithm, seed=seed, contention=contention
+                )
+            )
+        else:
+            slots.append(None)
+    results = active_executor().run(points) if points else []
+    return [
+        results[slot]
+        if slot is not None
+        else run_broadcast(problem, algorithm, seed=seed, contention=contention)
+        for (problem, algorithm), slot in zip(items, slots)
+    ]
 
 
 def measure_problem(
@@ -35,18 +220,7 @@ def measure_problem(
     contention: bool = True,
 ) -> float:
     """Completion time in milliseconds, averaged over the best seeds."""
-    if problem.machine.topology_stable_ranks:
-        return run_broadcast(
-            problem, algorithm, seed=0, contention=contention
-        ).elapsed_ms
-    times = sorted(
-        run_broadcast(
-            problem, algorithm, seed=seed, contention=contention
-        ).elapsed_ms
-        for seed in T3D_SEEDS
-    )
-    best = times[:T3D_BEST]
-    return sum(best) / len(best)
+    return measure_batch([(problem, algorithm)], contention=contention)[0]
 
 
 def sweep(
@@ -65,16 +239,14 @@ def sweep(
     ``total_bytes // s`` (the fixed-total experiments of Figures 7/12);
     otherwise every source sends ``message_size`` bytes.
     """
-    curves: Dict[str, List[float]] = {_name(a): [] for a in algorithms}
+    problems: List[BroadcastProblem] = []
     for s in s_values:
         size = total_bytes // s if total_bytes is not None else message_size
         sources = distribution.generate(machine, s)
-        problem = BroadcastProblem(machine, sources, message_size=max(size, 1))
-        for algorithm in algorithms:
-            curves[_name(algorithm)].append(
-                measure_problem(problem, algorithm, contention=contention)
-            )
-    return curves
+        problems.append(
+            BroadcastProblem(machine, sources, message_size=max(size, 1))
+        )
+    return measure_grid(problems, algorithms, contention=contention)
 
 
 def _name(algorithm: Algorithm) -> str:

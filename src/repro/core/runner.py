@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.executor import ScheduleExecutor
 from repro.core.problem import BroadcastProblem
@@ -21,11 +21,12 @@ class BroadcastResult:
 
     ``elapsed_us`` is the virtual completion time of the slowest rank —
     the quantity the paper plots.  ``metrics`` carries the Figure-2
-    parameters measured during the run.
+    parameters measured during the run.  ``problem`` may be ``None`` on
+    results deserialized from a cache entry lacking a problem descriptor.
     """
 
     algorithm: str
-    problem: BroadcastProblem
+    problem: Optional[BroadcastProblem]
     elapsed_us: float
     metrics: MetricsReport
     num_rounds: int
@@ -36,6 +37,71 @@ class BroadcastResult:
     def elapsed_ms(self) -> float:
         """Completion time in milliseconds (the paper's usual unit)."""
         return self.elapsed_us / 1000.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible rendering that round-trips via :meth:`from_dict`.
+
+        All numeric fields survive a :func:`json.dumps` cycle bit-exactly
+        (Python's float repr is shortest-round-trip), which is what lets
+        the sweep cache treat stored results as interchangeable with
+        freshly computed ones.  The problem is embedded as a spec
+        descriptor when its machine has a canonical
+        :attr:`~repro.machines.machine.Machine.spec`; ad-hoc machines
+        serialize without one and deserialize with ``problem=None``.
+        """
+        data: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "elapsed_us": self.elapsed_us,
+            "num_rounds": self.num_rounds,
+            "num_transfers": self.num_transfers,
+            "link_utilization": self.link_utilization,
+            "metrics": self.metrics.to_json_dict(),
+        }
+        problem = self.problem
+        if problem is not None and problem.machine.spec is not None:
+            data["problem"] = {
+                "machine": problem.machine.spec,
+                "sources": list(problem.sources),
+                "message_size": problem.message_size,
+                "sizes": (
+                    {str(rank): problem.size_of(rank) for rank in problem.sources}
+                    if problem.sizes is not None
+                    else None
+                ),
+            }
+        return data
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Dict[str, Any],
+        problem: Optional[BroadcastProblem] = None,
+    ) -> "BroadcastResult":
+        """Rebuild a result serialized by :meth:`to_dict`.
+
+        ``problem`` overrides the embedded descriptor (callers that still
+        hold the original instance avoid rebuilding the machine).
+        """
+        if problem is None and data.get("problem") is not None:
+            from repro.machines import machine_from_spec  # local: avoid cycle
+
+            desc = data["problem"]
+            sizes = desc.get("sizes")
+            problem = BroadcastProblem(
+                machine=machine_from_spec(desc["machine"]),
+                sources=tuple(desc["sources"]),
+                message_size=desc["message_size"],
+                sizes={int(r): int(v) for r, v in sizes.items()} if sizes else None,
+            )
+        return cls(
+            algorithm=data["algorithm"],
+            problem=problem,
+            elapsed_us=float(data["elapsed_us"]),
+            metrics=MetricsReport.from_json_dict(data["metrics"]),
+            num_rounds=int(data["num_rounds"]),
+            num_transfers=int(data["num_transfers"]),
+            link_utilization=float(data["link_utilization"]),
+        )
 
 
 def run_broadcast(

@@ -18,6 +18,7 @@ DESIGN.md §2.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.machines.hypercube_machine import hypercube
 from repro.machines.machine import Machine, RunResult
 from repro.machines.params import MachineParams
@@ -31,4 +32,31 @@ __all__ = [
     "paragon",
     "t3d",
     "hypercube",
+    "machine_from_spec",
 ]
+
+
+def machine_from_spec(spec: str) -> Machine:
+    """Rebuild a factory machine from its canonical spec string.
+
+    Accepts ``paragon:RxC``, ``t3d:P`` and ``hypercube:P`` — exactly the
+    strings stored in :attr:`Machine.spec` — and returns the machine
+    with its default calibrated parameters.  This is the inverse the
+    sweep executor relies on to reconstruct problems inside worker
+    processes and to key the on-disk result cache.
+    """
+    kind, _, size = spec.partition(":")
+    try:
+        if kind == "paragon":
+            rows, sep, cols = size.partition("x")
+            if sep:
+                return paragon(int(rows), int(cols))
+        elif kind == "t3d" and size:
+            return t3d(int(size))
+        elif kind == "hypercube" and size:
+            return hypercube(int(size))
+    except ValueError:
+        pass
+    raise ConfigurationError(
+        f"unknown machine spec {spec!r}; use paragon:RxC, t3d:P, hypercube:P"
+    )

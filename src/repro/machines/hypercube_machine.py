@@ -31,4 +31,5 @@ def hypercube(p: int, params: MachineParams = PARAGON_PARAMS) -> Machine:
         params,
         mapping_factory=None,  # identity: ranks are cube addresses
         kind="hypercube",
+        spec=f"hypercube:{p}" if params is PARAGON_PARAMS else None,
     )

@@ -65,6 +65,13 @@ class Machine:
     kind:
         Free-form family tag (``"paragon"``, ``"t3d"``, ``"test"``)
         used by algorithms to check applicability.
+    spec:
+        Canonical factory spec string (``"paragon:10x10"``, ``"t3d:128"``,
+        ``"hypercube:32"``) when the machine is reconstructible from it —
+        i.e. factory-built with the default calibrated parameters.
+        ``None`` for ad-hoc machines (custom params, test topologies);
+        such machines cannot be shipped to sweep worker processes or
+        cached, and are evaluated in-process instead.
     """
 
     def __init__(
@@ -73,10 +80,12 @@ class Machine:
         params: MachineParams,
         mapping_factory: Optional[MappingFactory] = None,
         kind: str = "generic",
+        spec: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.params = params
         self.kind = kind
+        self.spec = spec
         self._mapping_factory: MappingFactory = (
             mapping_factory
             if mapping_factory is not None

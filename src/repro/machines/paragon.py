@@ -57,4 +57,5 @@ def paragon(
         params,
         mapping_factory=None,  # identity
         kind="paragon",
+        spec=f"paragon:{rows}x{cols}" if params is PARAGON_PARAMS else None,
     )

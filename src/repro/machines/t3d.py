@@ -62,4 +62,5 @@ def t3d(p: int, params: MachineParams = T3D_PARAMS) -> Machine:
         params,
         mapping_factory=lambda topo, seed: RandomMapping(topo, seed=seed),
         kind="t3d",
+        spec=f"t3d:{p}" if params is T3D_PARAMS else None,
     )

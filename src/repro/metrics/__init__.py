@@ -11,6 +11,7 @@ five quantities (plus totals useful for debugging and ablations).
 from __future__ import annotations
 
 from repro.metrics.counters import MetricsCollector, RankCounters
+from repro.metrics.progress import SweepReport
 from repro.metrics.report import MetricsReport
 
-__all__ = ["MetricsCollector", "RankCounters", "MetricsReport"]
+__all__ = ["MetricsCollector", "RankCounters", "MetricsReport", "SweepReport"]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Tuple
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Dict, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.counters import MetricsCollector
@@ -88,6 +88,30 @@ class MetricsReport:
                 sorted(collector.last_time_by_iter.items())
             ),
         )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-compatible rendering of **every** field.
+
+        Unlike :meth:`as_dict` (the bench reporters' summary view) this
+        round-trips bit-exactly through :func:`json.dumps` /
+        :meth:`from_json_dict` — the contract the sweep result cache
+        depends on.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["iteration_times"] = [
+            [iteration, when] for iteration, when in self.iteration_times
+        ]
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "MetricsReport":
+        """Inverse of :meth:`to_json_dict`."""
+        data = dict(data)
+        data["iteration_times"] = tuple(
+            (int(iteration), float(when))
+            for iteration, when in data.get("iteration_times", ())
+        )
+        return cls(**data)
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict rendering (stable keys, used by the bench reporters)."""

@@ -87,6 +87,11 @@ class Engine:
 
     def call_at(self, when: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute time ``when`` (must be >= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"call_at: target time {when!r} is before now "
+                f"({self._now!r}); absolute times must not lie in the past"
+            )
         event = self.event()
         event.add_callback(lambda _ev: callback())
         event.succeed(delay=when - self._now)

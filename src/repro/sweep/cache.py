@@ -1,0 +1,109 @@
+"""Content-addressed on-disk cache of broadcast results.
+
+Entries are JSON files named by the sweep point's content hash
+(:meth:`~repro.sweep.spec.SweepPoint.key`), sharded into 256 two-hex
+subdirectories.  Each entry stores the point's full identity payload,
+the serialized :class:`~repro.core.runner.BroadcastResult`, and the
+original compute duration (which feeds the speedup counters).
+
+The cache is defensive by design: a corrupted, truncated, or
+wrong-format entry is silently discarded and recomputed — a cache must
+never be able to fail a sweep.  Writes are atomic (temp file +
+``os.replace``), so a crashed writer leaves at worst a stray temp file,
+never a half-written entry served as truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.sweep.spec import SweepPoint
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location for the CLIs (overridable via ``--cache-dir``).
+DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/sweep")
+
+#: Fields an entry's result dict must carry to be considered intact.
+_REQUIRED_RESULT_FIELDS = (
+    "algorithm",
+    "elapsed_us",
+    "num_rounds",
+    "num_transfers",
+    "link_utilization",
+    "metrics",
+)
+
+
+class ResultCache:
+    """Filesystem-backed memoization of sweep-point results."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root).expanduser()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Entry path for a content hash."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read --------------------------------------------------------------
+    def load(self, point: SweepPoint) -> Optional[Tuple[Dict[str, Any], float]]:
+        """``(result_dict, original_compute_seconds)`` or ``None`` on miss.
+
+        Any defect — unreadable file, invalid JSON, missing fields, or a
+        stored payload that does not match the point (stale format, hash
+        collision) — counts as a miss; the bad entry is deleted so it is
+        recomputed and rewritten rather than tripping every future run.
+        """
+        path = self.path_for(point.key())
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["point"] != point.payload():
+                raise ValueError("stored payload does not match the point")
+            result = entry["result"]
+            for field in _REQUIRED_RESULT_FIELDS:
+                if field not in result:
+                    raise KeyError(field)
+            compute_s = float(entry.get("compute_s", 0.0))
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return result, compute_s
+
+    # -- write -------------------------------------------------------------
+    def store(
+        self, point: SweepPoint, result: Dict[str, Any], compute_s: float
+    ) -> None:
+        """Persist one evaluated point (atomic replace)."""
+        path = self.path_for(point.key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "point": point.payload(),
+            "result": result,
+            "compute_s": compute_s,
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+
+    # -- maintenance -------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries on disk."""
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> None:
+        """Delete every entry (and the cache directory itself)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        return f"<ResultCache root={str(self.root)!r}>"

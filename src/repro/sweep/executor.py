@@ -1,0 +1,154 @@
+"""Parallel, memoizing evaluation of sweep points.
+
+The executor exploits the one property everything in this repo is built
+on: a simulated run is a **pure function** of its configuration
+(deterministic tie-breaking in the engine, seeded rank mappings).  That
+makes three transformations of the serial sweep loop safe:
+
+* **fan-out** — points evaluate in worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* **memoization** — results round-trip through the on-disk
+  :class:`~repro.sweep.cache.ResultCache` keyed by the point's content
+  hash;
+* **deduplication** — identical points inside one batch are evaluated
+  once.
+
+All three are exercised against each other by the differential tests
+(``tests/test_sweep_differential.py``): serial, parallel, cold-cache and
+warm-cache evaluations of the same grid must agree bit-for-bit.
+
+Worker count resolution: explicit ``jobs`` argument, else the
+``REPRO_SWEEP_JOBS`` environment variable, else 1.  ``jobs=1`` never
+touches :mod:`multiprocessing` — the serial fallback runs the identical
+evaluation function in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runner import BroadcastResult, run_broadcast
+from repro.metrics.progress import SweepReport
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import SweepPoint
+
+__all__ = ["SweepExecutor", "evaluate_point", "resolve_jobs"]
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: argument > ``$REPRO_SWEEP_JOBS`` > 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "")
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def evaluate_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """Evaluate one point payload; returns ``(result_dict, seconds)``.
+
+    Module-level (picklable) so it serves as the process-pool task; the
+    serial path calls the very same function, which is what guarantees
+    ``jobs=1`` and ``jobs=N`` take identical code paths through problem
+    reconstruction and simulation.
+    """
+    point = SweepPoint.from_payload(payload)
+    start = time.perf_counter()
+    result = run_broadcast(
+        point.build_problem(),
+        point.algorithm,
+        seed=point.seed,
+        contention=point.contention,
+    )
+    return result.to_dict(), time.perf_counter() - start
+
+
+class SweepExecutor:
+    """Evaluates batches of sweep points, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``None`` defers to ``$REPRO_SWEEP_JOBS``
+        (default 1 = serial, in-process).
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable memoization
+        entirely — no reads *and* no writes (the ``--no-cache`` CLI
+        contract).
+
+    Attributes
+    ----------
+    last_report:
+        :class:`~repro.metrics.progress.SweepReport` of the most recent
+        :meth:`run` call.
+    session:
+        Accumulated counters across every :meth:`run` of this executor.
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.last_report: Optional[SweepReport] = None
+        self.session = SweepReport(jobs=self.jobs)
+
+    def run(self, points: Sequence[SweepPoint]) -> List[BroadcastResult]:
+        """Evaluate ``points``; returns results aligned with the input order.
+
+        Cache hits are served from disk, duplicates within the batch are
+        computed once, and the remainder fans out over the process pool
+        (or runs in-process for ``jobs=1`` / single-point batches).
+        Worker exceptions (verification failures, algorithm/machine
+        mismatches) propagate to the caller unchanged in kind.
+        """
+        wall_start = time.perf_counter()
+        report = SweepReport(total=len(points), jobs=self.jobs)
+        result_dicts: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        first_index_by_key: Dict[str, int] = {}
+        duplicate_of: Dict[int, int] = {}
+        todo: List[int] = []
+        for i, point in enumerate(points):
+            key = point.key()
+            if key in first_index_by_key:
+                duplicate_of[i] = first_index_by_key[key]
+                continue
+            first_index_by_key[key] = i
+            hit = self.cache.load(point) if self.cache is not None else None
+            if hit is not None:
+                result_dicts[i], original_s = hit
+                report.cached += 1
+                report.saved_s += original_s
+            else:
+                todo.append(i)
+
+        if todo:
+            payloads = [points[i].payload() for i in todo]
+            if self.jobs > 1 and len(todo) > 1:
+                workers = min(self.jobs, len(todo))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    evaluated = list(pool.map(evaluate_point, payloads))
+            else:
+                evaluated = [evaluate_point(payload) for payload in payloads]
+            for i, (result_dict, seconds) in zip(todo, evaluated):
+                result_dicts[i] = result_dict
+                report.computed += 1
+                report.busy_s += seconds
+                if self.cache is not None:
+                    self.cache.store(points[i], result_dict, seconds)
+
+        for i, j in duplicate_of.items():
+            result_dicts[i] = result_dicts[j]
+
+        report.wall_s = time.perf_counter() - wall_start
+        self.last_report = report
+        self.session.merge(report)
+        return [BroadcastResult.from_dict(d) for d in result_dicts]

@@ -1,0 +1,217 @@
+"""Sweep points and cartesian sweep grids.
+
+A :class:`SweepPoint` is the *unit of work* of the sweep subsystem: one
+``run_broadcast`` invocation, described entirely by plain data (machine
+spec string, explicit source ranks, sizes, algorithm name, seed,
+contention flag).  Because the discrete-event engine is a pure function
+of that data — deterministic tie-breaking, seeded mappings — a point can
+be shipped to a worker process, evaluated there, and its result reused
+from a cache, all without changing the answer.
+
+A :class:`SweepSpec` is the cartesian grid the paper's figures sweep:
+machines x distributions x source counts x message sizes x algorithms x
+seeds.  :meth:`SweepSpec.points` expands it, resolving each distribution
+to explicit source ranks on each machine's logical grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.core.problem import BroadcastProblem
+from repro.errors import ConfigurationError
+from repro.machines import machine_from_spec
+
+__all__ = ["SweepPoint", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully specified broadcast run, as plain picklable data.
+
+    ``machine`` is a canonical factory spec (``"paragon:10x10"``, ...);
+    ``sources`` are explicit ranks, so the point stays valid even for
+    placements no registered distribution generates (ideal rows,
+    repositioned targets).  ``sizes`` optionally carries the per-source
+    byte table of non-uniform problems.  ``distribution`` is a
+    provenance label; it participates in the cache key (two identically
+    placed points from different distributions hash apart, which only
+    costs a rare duplicate cache entry).
+    """
+
+    machine: str
+    sources: Tuple[int, ...]
+    message_size: int
+    algorithm: str
+    seed: int = 0
+    contention: bool = True
+    sizes: Optional[Tuple[Tuple[int, int], ...]] = None
+    distribution: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(int(r) for r in self.sources))
+        if self.sizes is not None:
+            object.__setattr__(
+                self,
+                "sizes",
+                tuple(sorted((int(r), int(v)) for r, v in self.sizes)),
+            )
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: BroadcastProblem,
+        algorithm: str,
+        *,
+        seed: int = 0,
+        contention: bool = True,
+        distribution: Optional[str] = None,
+    ) -> "SweepPoint":
+        """Describe ``run_broadcast(problem, algorithm, ...)`` as a point.
+
+        Raises
+        ------
+        ConfigurationError
+            If the problem's machine has no canonical spec (ad-hoc
+            topology or overridden parameters) — such runs must stay
+            in-process because a worker could not reconstruct them.
+        """
+        spec = problem.machine.spec
+        if spec is None:
+            raise ConfigurationError(
+                "sweep points require a factory-built machine with default "
+                f"parameters; {problem.machine!r} has no canonical spec"
+            )
+        sizes: Optional[Tuple[Tuple[int, int], ...]] = None
+        if problem.sizes is not None:
+            sizes = tuple((r, problem.size_of(r)) for r in problem.sources)
+        return cls(
+            machine=spec,
+            sources=problem.sources,
+            message_size=problem.message_size,
+            algorithm=algorithm,
+            seed=seed,
+            contention=contention,
+            sizes=sizes,
+            distribution=distribution,
+        )
+
+    # -- identity ----------------------------------------------------------
+    def payload(self) -> Dict[str, Any]:
+        """Canonical JSON-compatible identity of this point.
+
+        Everything the result depends on is here — including the package
+        version, so recalibrated machine parameters in a future release
+        invalidate old cache entries instead of silently serving them.
+        """
+        return {
+            "schema": 1,
+            "version": __version__,
+            "machine": self.machine,
+            "distribution": self.distribution,
+            "sources": list(self.sources),
+            "message_size": self.message_size,
+            "sizes": [list(pair) for pair in self.sizes] if self.sizes else None,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "contention": self.contention,
+        }
+
+    def key(self) -> str:
+        """Stable content hash of :meth:`payload` (the cache key)."""
+        blob = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SweepPoint":
+        """Inverse of :meth:`payload` (used on the worker side)."""
+        sizes = payload.get("sizes")
+        return cls(
+            machine=payload["machine"],
+            sources=tuple(payload["sources"]),
+            message_size=payload["message_size"],
+            algorithm=payload["algorithm"],
+            seed=payload["seed"],
+            contention=payload["contention"],
+            sizes=tuple((r, v) for r, v in sizes) if sizes else None,
+            distribution=payload.get("distribution"),
+        )
+
+    # -- evaluation support ------------------------------------------------
+    def build_problem(self) -> BroadcastProblem:
+        """Reconstruct the :class:`BroadcastProblem` this point describes."""
+        return BroadcastProblem(
+            machine=machine_from_spec(self.machine),
+            sources=self.sources,
+            message_size=self.message_size,
+            sizes=dict(self.sizes) if self.sizes else None,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cartesian grid of sweep points.
+
+    Axes mirror the paper's experiment parameters: machine spec strings,
+    distribution keys (resolved against each machine's logical grid),
+    source counts ``s``, message sizes ``L``, algorithm names, and run
+    seeds.  ``contention`` applies to the whole grid.
+    """
+
+    machines: Tuple[str, ...]
+    distributions: Tuple[str, ...]
+    s_values: Tuple[int, ...]
+    message_sizes: Tuple[int, ...]
+    algorithms: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (0,)
+    contention: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("machines", "distributions", "s_values", "message_sizes",
+                     "algorithms", "seeds"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+            if not getattr(self, name):
+                raise ConfigurationError(f"SweepSpec.{name} must be non-empty")
+
+    @property
+    def num_points(self) -> int:
+        """Size of the expanded grid."""
+        return (
+            len(self.machines)
+            * len(self.distributions)
+            * len(self.s_values)
+            * len(self.message_sizes)
+            * len(self.algorithms)
+            * len(self.seeds)
+        )
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid, machine-major, in deterministic order."""
+        from repro.distributions import get_distribution  # local: avoid cycle
+
+        out: List[SweepPoint] = []
+        for spec in self.machines:
+            machine = machine_from_spec(spec)
+            for dist_key in self.distributions:
+                distribution = get_distribution(dist_key)
+                for s in self.s_values:
+                    sources = tuple(distribution.generate(machine, s))
+                    for size in self.message_sizes:
+                        for algorithm in self.algorithms:
+                            for seed in self.seeds:
+                                out.append(
+                                    SweepPoint(
+                                        machine=spec,
+                                        sources=sources,
+                                        message_size=size,
+                                        algorithm=algorithm,
+                                        seed=seed,
+                                        contention=self.contention,
+                                        distribution=dist_key,
+                                    )
+                                )
+        return out

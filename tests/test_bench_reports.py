@@ -1,0 +1,51 @@
+"""Regression tests for the bench report-writing machinery.
+
+``benchmarks/conftest.py`` copies every experiment's paper-style table
+into ``benchmarks/reports/``.  These tests pin the slug format and the
+``mkdir(parents=True)`` behaviour (a fresh checkout has no ``reports/``
+directory — and a redirected REPORTS_DIR may be arbitrarily deep).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import benchmarks.conftest as bench_conftest
+from benchmarks.conftest import REPORTS_DIR, run_experiment
+from repro.bench.figures import fig01
+
+
+class OneShotBenchmark:
+    """Minimal stand-in for the pytest-benchmark fixture."""
+
+    def pedantic(self, fn, args=(), rounds=1, iterations=1):
+        return fn(*args)
+
+
+def test_reports_dir_points_into_benchmarks_tree():
+    assert REPORTS_DIR.name == "reports"
+    assert REPORTS_DIR.parent.name == "benchmarks"
+
+
+def test_quick_report_lands_with_expected_slug(monkeypatch, tmp_path, capsys):
+    # Nested path that does not exist yet: exercises parents=True.
+    target = tmp_path / "deeply" / "nested" / "reports"
+    monkeypatch.setattr(bench_conftest, "REPORTS_DIR", target)
+
+    result = run_experiment(OneShotBenchmark(), fig01, quick=True)
+
+    report_path = target / "figure_1.quick.txt"
+    assert report_path.is_file()
+    text = report_path.read_text()
+    assert text.startswith("=== Figure 1")
+    assert text == result.report() + "\n"
+    # the table is also echoed to stdout for the pytest -s view
+    assert "=== Figure 1" in capsys.readouterr().out
+
+
+def test_full_mode_uses_full_suffix(monkeypatch, tmp_path):
+    target = tmp_path / "reports"
+    monkeypatch.setattr(bench_conftest, "REPORTS_DIR", target)
+    # fig01 has no quick/full grid split, so full mode is equally cheap.
+    run_experiment(OneShotBenchmark(), fig01, quick=False)
+    assert (target / "figure_1.full.txt").is_file()

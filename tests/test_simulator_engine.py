@@ -188,3 +188,55 @@ class TestDeadlockDetection:
 
         engine.process(fine())
         engine.run()  # no raise
+
+
+class TestRunUntilEdgeCases:
+    def test_until_before_first_event_leaves_it_pending(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(10.0, lambda: seen.append(engine.now))
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        assert seen == []
+        assert engine.pending_events == 1
+        # resuming past the event fires it at its original time
+        engine.run(until=20.0)
+        assert seen == [10.0]
+
+    def test_until_exactly_at_event_time_fires_it(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(10.0, lambda: seen.append(engine.now))
+        engine.run(until=10.0)
+        assert seen == [10.0]
+        assert engine.now == 10.0
+        assert engine.pending_events == 0
+
+    def test_until_after_drain_stops_at_last_event(self):
+        # The clock does not coast to `until` once the calendar drains;
+        # it reads the time of the last processed event.
+        engine = Engine()
+        seen = []
+        engine.call_at(3.0, lambda: seen.append(engine.now))
+        engine.run(until=100.0)
+        assert seen == [3.0]
+        assert engine.now == 3.0
+
+
+class TestCallAtValidation:
+    def test_call_at_in_the_past_raises_naming_call_at(self):
+        engine = Engine()
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        with pytest.raises(SimulationError, match="call_at"):
+            engine.call_at(2.0, lambda: None)
+
+    def test_call_at_exactly_now_is_allowed(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        engine.call_at(engine.now, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]

@@ -1,0 +1,146 @@
+"""Cache-correctness tests: keys, corruption handling, and bypass."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.bench.cli import build_executor
+from repro.sweep import ResultCache, SweepExecutor, SweepPoint
+
+POINT = SweepPoint(
+    machine="paragon:4x4",
+    sources=(0, 5, 9),
+    message_size=512,
+    algorithm="Br_Lin",
+    seed=0,
+    contention=True,
+    distribution="R",
+)
+
+
+class TestCacheKey:
+    """Every axis of a point must participate in its cache key."""
+
+    def test_identical_points_share_a_key(self):
+        clone = dataclasses.replace(POINT)
+        assert clone.key() == POINT.key()
+
+    def test_every_axis_changes_the_key(self):
+        variants = {
+            "machine": dataclasses.replace(POINT, machine="t3d:16"),
+            "sources": dataclasses.replace(POINT, sources=(0, 5, 10)),
+            "message_size": dataclasses.replace(POINT, message_size=1024),
+            "algorithm": dataclasses.replace(POINT, algorithm="2-Step"),
+            "seed": dataclasses.replace(POINT, seed=1),
+            "contention": dataclasses.replace(POINT, contention=False),
+            "sizes": dataclasses.replace(POINT, sizes=((5, 64),)),
+            "distribution": dataclasses.replace(POINT, distribution="E"),
+        }
+        keys = {axis: pt.key() for axis, pt in variants.items()}
+        keys["<base>"] = POINT.key()
+        assert len(set(keys.values())) == len(keys), keys
+
+    def test_changed_axis_misses_a_warm_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        executor.run([POINT])
+        for changed in (
+            dataclasses.replace(POINT, contention=False),
+            dataclasses.replace(POINT, message_size=1024),
+            dataclasses.replace(POINT, seed=7),
+        ):
+            executor.run([changed])
+            assert executor.last_report.cached == 0
+            assert executor.last_report.computed == 1
+        # the original still hits
+        executor.run([POINT])
+        assert executor.last_report.cached == 1
+
+
+class TestCacheDefense:
+    def baseline(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        result = executor.run([POINT])[0]
+        return cache, executor, result
+
+    def test_corrupted_entry_recomputed(self, tmp_path):
+        cache, executor, good = self.baseline(tmp_path)
+        path = cache.path_for(POINT.key())
+        path.write_text("{ not json !!!")
+        again = executor.run([POINT])[0]
+        assert executor.last_report.computed == 1
+        assert again.elapsed_us == good.elapsed_us
+        # the bad entry was replaced by a fresh, loadable one
+        assert cache.load(POINT) is not None
+
+    def test_truncated_entry_recomputed(self, tmp_path):
+        cache, executor, good = self.baseline(tmp_path)
+        path = cache.path_for(POINT.key())
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        again = executor.run([POINT])[0]
+        assert executor.last_report.computed == 1
+        assert again.elapsed_us == good.elapsed_us
+
+    def test_missing_result_field_recomputed(self, tmp_path):
+        cache, executor, good = self.baseline(tmp_path)
+        path = cache.path_for(POINT.key())
+        entry = json.loads(path.read_text())
+        del entry["result"]["elapsed_us"]
+        path.write_text(json.dumps(entry))
+        again = executor.run([POINT])[0]
+        assert executor.last_report.computed == 1
+        assert again.elapsed_us == good.elapsed_us
+
+    def test_stale_payload_recomputed(self, tmp_path):
+        # An entry whose stored identity disagrees with the point (e.g.
+        # written by a different format version) must not be served.
+        cache, executor, _ = self.baseline(tmp_path)
+        path = cache.path_for(POINT.key())
+        entry = json.loads(path.read_text())
+        entry["point"]["seed"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.load(POINT) is None
+        assert not path.exists()  # defect deleted, not left to trip again
+
+    def test_clear_and_len(self, tmp_path):
+        cache, executor, _ = self.baseline(tmp_path)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        executor.run([POINT])
+        assert executor.last_report.computed == 1
+
+
+class TestCacheBypass:
+    def test_cacheless_executor_writes_nothing(self, tmp_path):
+        SweepExecutor(cache=None).run([POINT])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_cache_flag_disables_reads_and_writes(self, tmp_path):
+        warm = ResultCache(tmp_path)
+        SweepExecutor(cache=warm).run([POINT])
+        assert len(warm) == 1
+
+        bypass = build_executor(jobs=None, cache_dir=str(tmp_path), no_cache=True)
+        assert bypass.cache is None
+        bypass.run([POINT])
+        # recomputed despite a warm entry sitting right there
+        assert bypass.last_report.cached == 0
+        assert bypass.last_report.computed == 1
+
+    def test_build_executor_honours_cache_dir(self, tmp_path):
+        executor = build_executor(jobs=2, cache_dir=str(tmp_path), no_cache=False)
+        assert executor.jobs == 2
+        assert isinstance(executor.cache, ResultCache)
+        assert executor.cache.root == tmp_path
+
+
+class TestDeduplication:
+    def test_duplicates_computed_once(self, tmp_path):
+        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        results = executor.run([POINT, POINT, POINT])
+        assert executor.last_report.computed == 1
+        assert executor.last_report.total == 3
+        assert len({r.elapsed_us for r in results}) == 1

@@ -1,0 +1,145 @@
+"""Unit tests for sweep points, grids, and result serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.problem import BroadcastProblem
+from repro.core.runner import BroadcastResult, run_broadcast
+from repro.errors import ConfigurationError
+from repro.machines import Machine, machine_from_spec, paragon, t3d
+from repro.machines.paragon import PARAGON_PARAMS
+from repro.network.linear import LinearArray
+from repro.sweep import SweepPoint, SweepSpec
+
+
+class TestMachineSpec:
+    def test_factory_machines_carry_spec(self):
+        assert paragon(4, 5).spec == "paragon:4x5"
+        assert t3d(32).spec == "t3d:32"
+
+    def test_custom_params_have_no_spec(self):
+        custom = PARAGON_PARAMS.with_overrides(t_byte=1.0)
+        assert paragon(4, 4, params=custom).spec is None
+
+    def test_machine_from_spec_round_trip(self):
+        machine = machine_from_spec("paragon:4x5")
+        assert machine.mesh_shape == (4, 5)
+        assert machine.spec == "paragon:4x5"
+        assert machine_from_spec("t3d:64").p == 64
+        assert machine_from_spec("hypercube:16").p == 16
+
+    def test_machine_from_spec_rejects_garbage(self):
+        for bad in ("cm5:64", "paragon:4", "paragon:axb", "t3d:", ""):
+            with pytest.raises(ConfigurationError):
+                machine_from_spec(bad)
+
+
+class TestSweepPoint:
+    def test_from_problem_round_trips_through_payload(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(machine, (0, 5, 9), message_size=512)
+        point = SweepPoint.from_problem(
+            problem, "Br_Lin", seed=3, contention=False, distribution="E"
+        )
+        clone = SweepPoint.from_payload(
+            json.loads(json.dumps(point.payload()))
+        )
+        assert clone == point
+        assert clone.key() == point.key()
+
+    def test_build_problem_reconstructs_equivalent_problem(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(
+            machine, (0, 5, 9), message_size=512, sizes={5: 128}
+        )
+        point = SweepPoint.from_problem(problem, "Br_Lin")
+        rebuilt = point.build_problem()
+        assert rebuilt.sources == problem.sources
+        assert rebuilt.size_of(5) == 128
+        assert rebuilt.size_of(0) == 512
+        assert rebuilt.machine.spec == "paragon:4x4"
+
+    def test_rejects_machines_without_spec(self):
+        from tests.conftest import TEST_PARAMS
+
+        machine = Machine(LinearArray(8), TEST_PARAMS, kind="test")
+        problem = BroadcastProblem(machine, (0, 3), message_size=64)
+        with pytest.raises(ConfigurationError):
+            SweepPoint.from_problem(problem, "Br_Lin")
+
+    def test_evaluation_matches_direct_run(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(machine, (0, 5, 9), message_size=512)
+        point = SweepPoint.from_problem(problem, "Br_Lin", seed=0)
+        direct = run_broadcast(problem, "Br_Lin", seed=0)
+        via_point = run_broadcast(point.build_problem(), "Br_Lin", seed=0)
+        assert via_point.elapsed_us == direct.elapsed_us
+        assert via_point.metrics == direct.metrics
+
+
+class TestSweepSpec:
+    def test_expansion_size_and_order(self):
+        spec = SweepSpec(
+            machines=("paragon:4x4",),
+            distributions=("E", "R"),
+            s_values=(2, 4),
+            message_sizes=(128,),
+            algorithms=("Br_Lin", "2-Step"),
+            seeds=(0, 1),
+        )
+        points = spec.points()
+        assert len(points) == spec.num_points == 16
+        # deterministic: expanding twice gives the same sequence
+        assert points == spec.points()
+        assert {pt.machine for pt in points} == {"paragon:4x4"}
+        assert {pt.distribution for pt in points} == {"E", "R"}
+        assert {pt.seed for pt in points} == {0, 1}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                machines=(),
+                distributions=("E",),
+                s_values=(2,),
+                message_sizes=(128,),
+                algorithms=("Br_Lin",),
+            )
+
+
+class TestBroadcastResultSerialization:
+    def test_round_trip_is_bit_exact(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(machine, (0, 5, 9), message_size=768)
+        result = run_broadcast(problem, "Br_Lin", seed=0)
+        data = json.loads(json.dumps(result.to_dict()))
+        clone = BroadcastResult.from_dict(data)
+        assert clone.algorithm == result.algorithm
+        assert clone.elapsed_us == result.elapsed_us
+        assert clone.num_rounds == result.num_rounds
+        assert clone.num_transfers == result.num_transfers
+        assert clone.link_utilization == result.link_utilization
+        assert clone.metrics == result.metrics
+        assert clone.problem.sources == problem.sources
+        assert clone.problem.machine.spec == "paragon:4x4"
+
+    def test_non_uniform_sizes_survive(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(
+            machine, (0, 5, 9), message_size=768, sizes={9: 32}
+        )
+        result = run_broadcast(problem, "Br_Lin", seed=0)
+        clone = BroadcastResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone.problem.size_of(9) == 32
+        assert clone.problem.size_of(0) == 768
+
+    def test_explicit_problem_overrides_descriptor(self):
+        machine = paragon(4, 4)
+        problem = BroadcastProblem(machine, (0, 5), message_size=256)
+        result = run_broadcast(problem, "Br_Lin", seed=0)
+        clone = BroadcastResult.from_dict(result.to_dict(), problem=problem)
+        assert clone.problem is problem
