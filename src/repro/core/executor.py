@@ -30,10 +30,17 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Set, Tuple
 
-from repro.core.schedule import Schedule, Transfer
+from repro.core.schedule import Schedule
 from repro.mpsim.comm import Comm
 
 __all__ = ["ScheduleExecutor"]
+
+#: One rank's slice of one round, fully resolved at plan-build time:
+#: ``(round_idx, collective, mpi, sends, recvs)`` where sends are
+#: ``(dst, msgset, nbytes)`` triples and recvs are source ranks.
+_RoundPlan = Tuple[
+    int, bool, bool, List[Tuple[int, Any, int]], List[int]
+]
 
 
 class ScheduleExecutor:
@@ -41,43 +48,47 @@ class ScheduleExecutor:
 
     The per-rank send/receive lists are precomputed once (the schedule
     is static), so program setup is O(transfers) overall rather than
-    O(rounds x p).
+    O(rounds x p).  Per-transfer byte counts and per-round mode flags
+    are resolved here too, keeping the simulated hot loop free of
+    schedule bookkeeping.
     """
 
     def __init__(self, schedule: Schedule) -> None:
         self.schedule = schedule
         self.problem = schedule.problem
         p = self.problem.p
-        # per-rank: list of (round_idx, sends, recvs) — only rounds where
-        # the rank participates, keeping the hot loop small.
-        self._plan: List[List[Tuple[int, List[Transfer], List[Transfer]]]] = [
-            [] for _ in range(p)
-        ]
+        # One shared snapshot: initial_holdings() builds a p-tuple per
+        # call, so indexing a cached copy per rank avoids O(p^2) setup.
+        self._initial = self.problem.initial_holdings()
+        self._plan: List[List[_RoundPlan]] = [[] for _ in range(p)]
         for round_idx, rnd in enumerate(schedule.rounds):
-            touched: Dict[int, Tuple[List[Transfer], List[Transfer]]] = {}
+            touched: Dict[int, Tuple[List[Tuple[int, Any, int]], List[int]]] = {}
             for t in rnd:
-                touched.setdefault(t.src, ([], []))[0].append(t)
-                touched.setdefault(t.dst, ([], []))[1].append(t)
+                touched.setdefault(t.src, ([], []))[0].append(
+                    (t.dst, t.msgset, t.nbytes(self.problem))
+                )
+                touched.setdefault(t.dst, ([], []))[1].append(t.src)
             for rank, (sends, recvs) in touched.items():
-                self._plan[rank].append((round_idx, sends, recvs))
+                self._plan[rank].append(
+                    (round_idx, rnd.collective, rnd.mpi, sends, recvs)
+                )
 
     def program(self, comm: Comm) -> Generator[Any, Any, frozenset]:
         """The SPMD program for ``comm.rank``; returns its final holdings."""
         rank = comm.rank
-        rounds = self.schedule.rounds
-        holdings: Set[int] = set(self.problem.initial_holdings()[rank])
-        for round_idx, sends, recvs in self._plan[rank]:
-            rnd = rounds[round_idx]
-            comm.iteration = round_idx
-            mode = comm.with_mode(collective=rnd.collective, mpi=rnd.mpi)
+        holdings: Set[int] = set(self._initial[rank])
+        iteration_cell = comm._iteration_cell
+        for round_idx, collective, mpi, sends, recvs in self._plan[rank]:
+            iteration_cell[0] = round_idx
+            mode = comm.with_mode(collective=collective, mpi=mpi)
             requests = []
-            for t in sends:
+            for dst, msgset, nbytes in sends:
                 request = yield from mode.isend(
-                    t.dst, t.msgset, nbytes=t.nbytes(self.problem), tag=round_idx
+                    dst, msgset, nbytes=nbytes, tag=round_idx
                 )
                 requests.append(request)
-            for t in recvs:
-                envelope = yield from mode.recv(source=t.src, tag=round_idx)
+            for src in recvs:
+                envelope = yield from mode.recv(source=src, tag=round_idx)
                 holdings |= envelope.payload
             for request in requests:
                 yield from request.wait()

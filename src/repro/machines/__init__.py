@@ -18,6 +18,8 @@ DESIGN.md §2.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.errors import ConfigurationError
 from repro.machines.hypercube_machine import hypercube
 from repro.machines.machine import Machine, RunResult
@@ -36,6 +38,7 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=64)
 def machine_from_spec(spec: str) -> Machine:
     """Rebuild a factory machine from its canonical spec string.
 
@@ -44,6 +47,12 @@ def machine_from_spec(spec: str) -> Machine:
     with its default calibrated parameters.  This is the inverse the
     sweep executor relies on to reconstruct problems inside worker
     processes and to key the on-disk result cache.
+
+    Memoized: a factory machine is an immutable configuration (frozen
+    params, finalized topology; every :meth:`Machine.run` builds a fresh
+    engine/fabric/world), so repeated sweep points within one process
+    share a single instance — and with it the topology's warm route
+    cache — instead of rebuilding the interconnect per point.
     """
     kind, _, size = spec.partition(":")
     try:

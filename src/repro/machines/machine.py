@@ -48,6 +48,7 @@ class RunResult:
     fabric_transfers: int
     fabric_link_wait: float
     link_utilization: float
+    events_scheduled: int = 0
 
 
 class Machine:
@@ -221,6 +222,7 @@ class Machine:
             fabric_transfers=fabric.transfers,
             fabric_link_wait=fabric.total_link_wait,
             link_utilization=fabric.link_utilization(until=elapsed),
+            events_scheduled=engine.events_scheduled,
         )
 
     def __repr__(self) -> str:

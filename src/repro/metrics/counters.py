@@ -79,7 +79,14 @@ class MetricsCollector:
         counters.bytes_sent += nbytes
         counters.link_wait_time += link_wait
         counters.msg_lengths.append(nbytes)
-        self._bump(rank, iteration, when)
+        # Inlined _bump: called once per message, and the collector runs
+        # inside the simulation hot loop.
+        per_iter = counters.per_iter_ops
+        per_iter[iteration] = per_iter.get(iteration, 0) + 1
+        self.active_by_iter.setdefault(iteration, set()).add(rank)
+        if when > self.last_time_by_iter.get(iteration, -1.0):
+            self.last_time_by_iter[iteration] = when
+        self.iterations_seen.add(iteration)
 
     def record_recv(
         self,
@@ -99,13 +106,9 @@ class MetricsCollector:
             counters.recv_wait_count += 1
         counters.copy_time += copy_time
         counters.msg_lengths.append(nbytes)
-        self._bump(rank, iteration, when)
-
-    def _bump(self, rank: int, iteration: int, when: float = 0.0) -> None:
-        counters = self.ranks[rank]
-        counters.per_iter_ops[iteration] = (
-            counters.per_iter_ops.get(iteration, 0) + 1
-        )
+        # Inlined _bump (see record_send).
+        per_iter = counters.per_iter_ops
+        per_iter[iteration] = per_iter.get(iteration, 0) + 1
         self.active_by_iter.setdefault(iteration, set()).add(rank)
         if when > self.last_time_by_iter.get(iteration, -1.0):
             self.last_time_by_iter[iteration] = when

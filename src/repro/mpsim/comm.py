@@ -23,7 +23,16 @@ over the bytes).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import CommError
 from repro.metrics.counters import MetricsCollector
@@ -63,10 +72,26 @@ class World:
         self.size = mapping.size
         self.inboxes: List[Store] = [Store(engine) for _ in range(self.size)]
         self.metrics = metrics if metrics is not None else MetricsCollector(self.size)
+        #: Interned group tuple of the full world, shared by every
+        #: world communicator view (one allocation per run, not per rank).
+        self.world_group: Tuple[int, ...] = tuple(range(self.size))
+        # world-rank -> group-rank dicts, interned per group tuple so
+        # every communicator view over the same group shares one dict.
+        self._group_indices: Dict[Tuple[int, ...], Dict[int, int]] = {}
 
     def comm(self, rank: int) -> "Comm":
         """The world communicator as seen by ``rank``."""
-        return Comm(self, tuple(range(self.size)), rank)
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} outside world of size {self.size}")
+        return Comm(self, self.world_group, rank, _validated=True)
+
+    def group_index(self, group: Tuple[int, ...]) -> Dict[int, int]:
+        """The interned ``world rank -> group rank`` dict for ``group``."""
+        index = self._group_indices.get(group)
+        if index is None:
+            index = {w: g for g, w in enumerate(group)}
+            self._group_indices[group] = index
+        return index
 
     def deliver(self, envelope: Envelope) -> None:
         """Deposit ``envelope`` in its destination inbox (kernel callback)."""
@@ -86,14 +111,28 @@ class Comm:
         This processor's index *within the group*.
     """
 
-    def __init__(self, world: World, group: Tuple[int, ...], rank: int) -> None:
-        if len(set(group)) != len(group):
-            raise CommError(f"communicator group has duplicates: {group}")
-        if not 0 <= rank < len(group):
-            raise CommError(f"rank {rank} outside group of size {len(group)}")
-        for g in group:
-            if not 0 <= g < world.size:
-                raise CommError(f"world rank {g} out of range [0, {world.size})")
+    def __init__(
+        self,
+        world: World,
+        group: Tuple[int, ...],
+        rank: int,
+        *,
+        _validated: bool = False,
+    ) -> None:
+        if not _validated:
+            # Groups derived from an already-validated communicator (mode
+            # views, world comms, sub-comms) skip this O(group) pass.
+            if len(set(group)) != len(group):
+                raise CommError(f"communicator group has duplicates: {group}")
+            if not 0 <= rank < len(group):
+                raise CommError(
+                    f"rank {rank} outside group of size {len(group)}"
+                )
+            for g in group:
+                if not 0 <= g < world.size:
+                    raise CommError(
+                        f"world rank {g} out of range [0, {world.size})"
+                    )
         self.world = world
         self.group = group
         self.rank = rank
@@ -106,6 +145,19 @@ class Comm:
         # communicator view of this rank (sub-comms, mode copies) so
         # metrics bucket correctly no matter which view issues the op.
         self._iteration_cell = [0]
+        # Interned world->group rank index (shared across views of the
+        # same group); doubles as the O(1) membership test in recv.
+        self._index = world.group_index(group)
+        # (collective, mpi) -> cached mode-variant view of this comm.
+        self._mode_cache: Dict[Tuple[bool, bool], "Comm"] = {}
+        # World-group views translate ranks identically, so received
+        # envelopes need no localization copy.
+        self._identity_group = group == world.world_group
+        # Per-message software overheads memoized for the current mode
+        # flags (invalidated by comparison, so late flag flips are safe).
+        self._cost_key: Optional[Tuple[bool, bool]] = None
+        self._send_ovh = 0.0
+        self._recv_ovh = 0.0
 
     # -- iteration bookkeeping ---------------------------------------------
     @property
@@ -138,7 +190,16 @@ class Comm:
         world_ranks = tuple(self.translate(r) for r in ranks)
         if self.rank not in ranks:
             return None
-        sub = Comm(self.world, world_ranks, list(ranks).index(self.rank))
+        # translate() already range-checked every rank against this
+        # (validated) group, so only duplicates remain to be rejected.
+        if len(set(world_ranks)) != len(world_ranks):
+            raise CommError(f"communicator group has duplicates: {world_ranks}")
+        sub = Comm(
+            self.world,
+            world_ranks,
+            list(ranks).index(self.rank),
+            _validated=True,
+        )
         sub.collective = self.collective
         sub.mpi = self.mpi
         sub._iteration_cell = self._iteration_cell
@@ -147,12 +208,41 @@ class Comm:
     def with_mode(
         self, *, collective: Optional[bool] = None, mpi: Optional[bool] = None
     ) -> "Comm":
-        """A same-group communicator with different overhead mode flags."""
-        comm = Comm(self.world, self.group, self.rank)
-        comm.collective = self.collective if collective is None else collective
-        comm.mpi = self.mpi if mpi is None else mpi
-        comm._iteration_cell = self._iteration_cell
+        """A same-group communicator view with the given overhead modes.
+
+        Views are cheap and cached: asking for this communicator's own
+        mode returns ``self``, and each distinct ``(collective, mpi)``
+        combination is built once per communicator.  Cached views share
+        the group, the rank index and the iteration cell, so they are
+        interchangeable with freshly built copies.
+        """
+        want_collective = self.collective if collective is None else collective
+        want_mpi = self.mpi if mpi is None else mpi
+        if want_collective == self.collective and want_mpi == self.mpi:
+            return self
+        key = (want_collective, want_mpi)
+        comm = self._mode_cache.get(key)
+        if comm is None:
+            comm = Comm(self.world, self.group, self.rank, _validated=True)
+            comm.collective = want_collective
+            comm.mpi = want_mpi
+            comm._iteration_cell = self._iteration_cell
+            self._mode_cache[key] = comm
         return comm
+
+    def _mode_costs(self) -> Tuple[float, float]:
+        """``(send_overhead, recv_overhead)`` for the current mode flags."""
+        key = (self.collective, self.mpi)
+        if key != self._cost_key:
+            params = self.world.params
+            self._send_ovh = params.send_overhead(
+                collective=key[0], mpi=key[1]
+            )
+            self._recv_ovh = params.recv_overhead(
+                collective=key[0], mpi=key[1]
+            )
+            self._cost_key = key
+        return self._send_ovh, self._recv_ovh
 
     # -- point-to-point ---------------------------------------------------
     def isend(
@@ -165,16 +255,18 @@ class Comm:
         if tag < 0:
             raise CommError(f"send tag must be >= 0, got {tag}")
         world = self.world
+        engine = world.engine
         params = world.params
-        src_world = self.world_rank
+        src_world = self.group[self.rank]
         dst_world = self.translate(dest)
-        overhead = params.send_overhead(collective=self.collective, mpi=self.mpi)
+        overhead = self._mode_costs()[0]
         if overhead > 0.0:
-            yield world.engine.timeout(overhead)
-        now = world.engine.now
-        src_node = world.mapping.node_of(src_world)
-        dst_node = world.mapping.node_of(dst_world)
-        stats = world.fabric.transfer(src_node, dst_node, nbytes, now)
+            yield engine.timeout(overhead)
+        now = engine.now
+        mapping = world.mapping
+        stats = world.fabric.transfer(
+            mapping.node_of(src_world), mapping.node_of(dst_world), nbytes, now
+        )
         envelope = Envelope(
             source=src_world,
             dest=dst_world,
@@ -187,22 +279,28 @@ class Comm:
         world.metrics.record_send(
             src_world,
             nbytes,
-            stats.link_wait,
-            iteration=self.iteration,
+            stats.start_time - now,
+            iteration=self._iteration_cell[0],
             when=now,
         )
-        world.engine.trace(
-            "send",
-            src=src_world,
-            dst=dst_world,
-            tag=tag,
-            nbytes=nbytes,
-            start=stats.start_time,
-            finish=stats.finish_time,
-        )
-        completion = world.engine.event()
-        world.engine.call_at(
-            stats.finish_time, lambda env=envelope: world.deliver(env)
+        if engine.tracer is not None:
+            engine.trace(
+                "send",
+                src=src_world,
+                dst=dst_world,
+                tag=tag,
+                nbytes=nbytes,
+                start=stats.start_time,
+                finish=stats.finish_time,
+            )
+        # One fused event per message: delivery (inbox deposit) runs as
+        # the completion event's first callback, so the calendar carries
+        # a single entry where the seed code scheduled two (call_at +
+        # completion) for the same instant.  Callback order preserves the
+        # seed semantics: deliver first, then resume any send-waiters.
+        completion = engine.event()
+        completion.add_callback(
+            lambda _ev, _deliver=world.deliver, _env=envelope: _deliver(_env)
         )
         completion.succeed(envelope, delay=stats.finish_time - now)
         return Request(completion, kind="send")
@@ -225,50 +323,57 @@ class Comm:
         envelope (its ``source`` converted to a *group* rank).
         """
         world = self.world
+        engine = world.engine
         params = world.params
-        me_world = self.world_rank
+        me_world = self.group[self.rank]
         src_world = source if source == ANY_SOURCE else self.translate(source)
-        posted = world.engine.now
-        group_set = None if source != ANY_SOURCE else frozenset(self.group)
+        posted = engine.now
+        # Wildcard receives must only match senders inside this group;
+        # the interned world->group index doubles as the O(1) member test.
+        group_index = None if source != ANY_SOURCE else self._index
 
         def matches(env: Envelope) -> bool:
             if not env.matches(src_world, tag):
                 return False
-            return group_set is None or env.source in group_set
+            return group_index is None or env.source in group_index
 
         envelope: Envelope = yield world.inboxes[me_world].get(matches)
-        wait_time = world.engine.now - posted
+        wait_time = engine.now - posted
         copy_time = params.copy_cost(envelope.nbytes, collective=self.collective)
-        overhead = params.recv_overhead(collective=self.collective, mpi=self.mpi)
+        overhead = self._mode_costs()[1]
         total = overhead + copy_time
         if total > 0.0:
-            yield world.engine.timeout(total)
+            yield engine.timeout(total)
         world.metrics.record_recv(
             me_world,
             envelope.nbytes,
             wait_time,
             copy_time,
-            iteration=self.iteration,
-            when=world.engine.now,
+            iteration=self._iteration_cell[0],
+            when=engine.now,
         )
-        world.engine.trace(
-            "recv",
-            rank=me_world,
-            src=envelope.source,
-            tag=envelope.tag,
-            nbytes=envelope.nbytes,
-            waited=wait_time,
-        )
+        if engine.tracer is not None:
+            engine.trace(
+                "recv",
+                rank=me_world,
+                src=envelope.source,
+                tag=envelope.tag,
+                nbytes=envelope.nbytes,
+                waited=wait_time,
+            )
         return self._localized(envelope)
 
     def _localized(self, envelope: Envelope) -> Envelope:
         """Envelope with ``source``/``dest`` translated to group ranks."""
-        try:
-            src_local = self.group.index(envelope.source)
-        except ValueError as exc:  # pragma: no cover - matching prevents this
+        if self._identity_group:
+            # World-group view: world ranks ARE group ranks, and the
+            # envelope's dest is already this rank — reuse it as-is.
+            return envelope
+        src_local = self._index.get(envelope.source)
+        if src_local is None:
             raise CommError(
                 f"received from rank {envelope.source} outside group"
-            ) from exc
+            )
         return Envelope(
             source=src_local,
             dest=self.rank,

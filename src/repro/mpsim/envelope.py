@@ -8,7 +8,7 @@ from typing import Any
 __all__ = ["Envelope"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """One message in flight (or buffered at the receiver).
 

@@ -29,8 +29,9 @@ charged and links never conflict.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.network.topology import Topology
@@ -129,7 +130,9 @@ class Fabric:
         if src == dst:
             self._transfers += 1
             return TransferStats(now, now, now, hops=0)
-        path = self.topology.route(src, dst)
+        # Cached immutable link path — shared with the topology's memo;
+        # only ever iterated here, never mutated.
+        path = self.topology.route_links(src, dst)
         hops = len(path) - 2  # exclude injection and ejection channels
         if self.switching == "store_and_forward":
             start, finish = self._transfer_store_and_forward(path, nbytes, now)
@@ -140,25 +143,27 @@ class Fabric:
         return TransferStats(now, start, finish, hops=hops)
 
     def _transfer_wormhole(
-        self, path: List[int], hops: int, nbytes: int, now: float
+        self, path: Sequence[int], hops: int, nbytes: int, now: float
     ) -> Tuple[float, float]:
         """Path reservation: the whole path is held for the duration."""
         duration = self.route_setup + hops * self.t_hop + nbytes * self.t_byte
         if not self.contention:
             return now, now + duration
+        free_at = self._free_at
+        busy_time = self._busy_time
         start = now
         for link in path:
-            free = self._free_at[link]
+            free = free_at[link]
             if free > start:
                 start = free
         finish = start + duration
         for link in path:
-            self._free_at[link] = finish
-            self._busy_time[link] += duration
+            free_at[link] = finish
+            busy_time[link] += duration
         return start, finish
 
     def _transfer_store_and_forward(
-        self, path: List[int], nbytes: int, now: float
+        self, path: Sequence[int], nbytes: int, now: float
     ) -> Tuple[float, float]:
         """Hop-by-hop forwarding (pre-wormhole routers).
 
@@ -212,15 +217,14 @@ class Fabric:
 
     def hottest_links(self, k: int = 5) -> List[tuple]:
         """The ``k`` busiest links as ``(busy_time, (u, v))`` pairs."""
-        ranked = sorted(
+        return heapq.nlargest(
+            k,
             (
                 (busy, self.topology.link_endpoints(link_id))
                 for link_id, busy in enumerate(self._busy_time)
                 if busy > 0.0
             ),
-            reverse=True,
         )
-        return ranked[:k]
 
     def reset(self) -> None:
         """Clear all reservations and statistics."""

@@ -19,6 +19,15 @@ from repro.errors import RoutingError, TopologyError
 
 __all__ = ["Topology"]
 
+#: All-pairs routes are precomputed at finalize up to this node count
+#: (<= 992 routes); larger topologies memoize lazily with a bounded cache.
+_PRECOMPUTE_MAX_NODES = 32
+
+#: Cap on lazily cached routes for large topologies.  A 32x32 mesh has
+#: ~1M ordered pairs; real workloads touch a small working set, so the
+#: cache evicts in FIFO order once full instead of growing unboundedly.
+_ROUTE_CACHE_MAX = 1 << 16
+
 
 class Topology(ABC):
     """Base class for interconnect topologies.
@@ -38,6 +47,9 @@ class Topology(ABC):
         self._wire_endpoints: List[Tuple[int, int]] = []
         self._wire_index: Dict[Tuple[int, int], int] = {}
         self._finalized = False
+        self._adjacency: Tuple[Tuple[int, ...], ...] = ()
+        self._route_cache: Dict[int, Tuple[int, ...]] = {}
+        self._route_cache_bounded = False
 
     # -- construction -----------------------------------------------------
     def _add_link(self, u: int, v: int) -> int:
@@ -57,7 +69,27 @@ class Topology(ABC):
         return link_id
 
     def _finalize(self) -> None:
+        """Freeze the link set and build the derived lookup structures.
+
+        * adjacency table — per-node sorted neighbor tuples, so
+          :meth:`neighbors` is O(degree) instead of an O(num_links) scan;
+        * route cache — all-pairs link paths for small topologies
+          (``num_nodes <= 32``), a bounded lazily-filled memo otherwise.
+        """
         self._finalized = True
+        out: List[List[int]] = [[] for _ in range(self._num_nodes)]
+        for u, v in self._wire_endpoints:
+            out[u].append(v)
+        self._adjacency = tuple(tuple(sorted(vs)) for vs in out)
+        self._route_cache = {}
+        self._route_cache_bounded = self._num_nodes > _PRECOMPUTE_MAX_NODES
+        if not self._route_cache_bounded:
+            n = self._num_nodes
+            for src in range(n):
+                base = src * n
+                for dst in range(n):
+                    if src != dst:
+                        self._route_cache[base + dst] = self._build_route(src, dst)
 
     # -- identity --------------------------------------------------------
     @property
@@ -114,6 +146,8 @@ class Topology(ABC):
     def neighbors(self, node: int) -> List[int]:
         """Nodes reachable from ``node`` over one wire link, sorted."""
         self._check_node(node)
+        if self._finalized:
+            return list(self._adjacency[node])
         return sorted(v for (u, v) in self._wire_endpoints if u == node)
 
     # -- routing ---------------------------------------------------------
@@ -127,8 +161,39 @@ class Topology(ABC):
         For ``src == dst`` the path is empty — a self-send never touches
         the network.
         """
+        return list(self.route_links(src, dst))
+
+    def route_links(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Memoized link-id path as an immutable tuple (the hot-path API).
+
+        The returned tuple is shared across calls and **must not** be
+        mutated by consumers; :class:`~repro.network.fabric.Fabric`
+        iterates it in place.  Small topologies are fully precomputed at
+        :meth:`_finalize`; large ones fill a bounded FIFO-evicting memo.
+        """
         if src == dst:
-            return []
+            return ()
+        n = self._num_nodes
+        if not 0 <= src < n or not 0 <= dst < n:
+            # Keep the seed behavior (TopologyError from route_nodes'
+            # bounds checks) — and keep out-of-range ids from aliasing
+            # a valid pair in the flat src*n+dst keyspace.
+            self._check_node(src)
+            self._check_node(dst)
+        cache = self._route_cache
+        key = src * n + dst
+        path = cache.get(key)
+        if path is not None:
+            return path
+        path = self._build_route(src, dst)
+        if self._route_cache_bounded and len(cache) >= _ROUTE_CACHE_MAX:
+            cache.pop(next(iter(cache)))
+        cache[key] = path
+        return path
+
+    def _build_route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Uncached route construction (the seed-code path, kept for
+        differential testing against the memoized :meth:`route_links`)."""
         nodes = self.route_nodes(src, dst)
         if nodes[0] != src or nodes[-1] != dst:
             raise RoutingError(
@@ -136,10 +201,15 @@ class Topology(ABC):
                 f"{nodes[0]}..{nodes[-1]}"
             )
         path = [self.injection_link(src)]
+        wire_index = self._wire_index
+        append = path.append
         for u, v in zip(nodes, nodes[1:]):
-            path.append(self.wire_link(u, v))
-        path.append(self.ejection_link(dst))
-        return path
+            try:
+                append(wire_index[(u, v)])
+            except KeyError:
+                raise RoutingError(f"no link {u}->{v} in {self!r}") from None
+        append(self.ejection_link(dst))
+        return tuple(path)
 
     def distance(self, src: int, dst: int) -> int:
         """Hop count of the dimension-order route (0 for self)."""

@@ -1,0 +1,36 @@
+"""Performance-regression harness for the simulator core.
+
+A pinned set of microbenchmarks — route lookups, point-to-point
+round-trips, and whole ``run_broadcast`` points — measured with
+best-of-N wall-clock timing and emitted as ``BENCH_simcore.json``.
+Every future PR runs ``python -m repro.perf --compare`` against the
+committed baseline (``benchmarks/perf_baseline.json``) so a hot-path
+regression shows up as a failing number, not as a slowly rotting sweep.
+
+Cross-machine comparability: each report embeds a *calibration* time
+(a fixed pure-Python workload timed on the same interpreter), and
+comparisons are done on calibration-normalized wall-clock, so a slower
+CI runner does not read as a simulator regression.
+"""
+
+from repro.perf.suite import (
+    BenchResult,
+    Comparison,
+    compare_reports,
+    load_report,
+    run_suite,
+    write_report,
+)
+from repro.perf.timer import BenchTiming, bench, calibrate
+
+__all__ = [
+    "BenchResult",
+    "BenchTiming",
+    "Comparison",
+    "bench",
+    "calibrate",
+    "compare_reports",
+    "load_report",
+    "run_suite",
+    "write_report",
+]

@@ -10,6 +10,7 @@ non-blocking sends).
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from repro.errors import SimulationError
@@ -72,10 +73,16 @@ class Event:
 
         Returns ``self`` so triggering can be chained/returned.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
-        self.engine._schedule(delay, self)
+        # Inlined Engine._schedule — one call frame per event matters;
+        # this is the single most frequent operation of a simulation.
+        engine = self.engine
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        heapq.heappush(engine._queue, (engine._now + delay, engine._seq, self))
+        engine._seq += 1
         return self
 
     # -- kernel hook ------------------------------------------------------
@@ -84,9 +91,9 @@ class Event:
         if self._processed:  # pragma: no cover - engine guarantees once
             raise SimulationError(f"{self!r} processed twice")
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
+        callbacks = self.callbacks
+        self.callbacks = None
+        for callback in callbacks:  # type: ignore[union-attr]
             callback(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -119,10 +126,14 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
+        self._processed = False
         self.delay = delay
         self._value = value
-        engine._schedule(delay, self)
+        # Inlined Event.__init__ + Engine._schedule (hot path; see succeed).
+        heapq.heappush(engine._queue, (engine._now + delay, engine._seq, self))
+        engine._seq += 1
 
 
 class Condition(Event):

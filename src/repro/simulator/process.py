@@ -70,7 +70,7 @@ class Process(Event):
         """Advance the generator by one step with ``event``'s value."""
         self._waiting_on = None
         try:
-            target = self.generator.send(event.value)
+            target = self.generator.send(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return

@@ -1,0 +1,79 @@
+"""Differential tests pinning simulator results to golden fixtures.
+
+The fixtures in ``tests/golden/simcore_golden.json`` were generated
+from the pre-optimization simulator core.  Every entry records the
+sha256 of the canonical ``BroadcastResult.to_dict()`` JSON for one
+``(machine, algorithm, sources, message size, seed)`` point — or the
+exception class for combinations the algorithm rejects.  These tests
+prove the hot-path optimizations (route memoization, communicator
+views, fused send events, inlined scheduling) are *bit-identical*
+rewrites: same virtual times, same transfer counts, same metrics,
+down to the last float bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.problem import BroadcastProblem
+from repro.core.runner import run_broadcast
+from repro.machines import machine_from_spec
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "simcore_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _canonical_hash(result) -> str:
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_point(key: str):
+    spec, algorithm, s_part, L_part, seed_part = key.split("|")
+    s = int(s_part.split("=")[1])
+    L = int(L_part.split("=")[1])
+    seed = int(seed_part.split("=")[1])
+    problem = BroadcastProblem(
+        machine=machine_from_spec(spec),
+        sources=tuple(range(s)),
+        message_size=L,
+    )
+    return run_broadcast(problem, algorithm, seed=seed)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_result_matches_golden(key):
+    expect = GOLDEN[key]
+    if "error" in expect:
+        with pytest.raises(Exception) as excinfo:
+            _run_point(key)
+        assert type(excinfo.value).__name__ == expect["error"]
+        return
+    result = _run_point(key)
+    assert result.elapsed_us == expect["elapsed_us"]
+    assert result.num_transfers == expect["num_transfers"]
+    assert _canonical_hash(result) == expect["sha256"]
+
+
+def test_repeated_runs_are_bit_identical():
+    """Two runs of the same point produce byte-for-byte equal JSON.
+
+    Guards the warm-cache path: the second run hits the memoized
+    machine, routes, and communicator views, and must not diverge
+    from the first (cold) run in any way.
+    """
+    key = "paragon:8x8|PersAlltoAll|s=16|L=1024|seed=0"
+    first = _run_point(key)
+    second = _run_point(key)
+    blob_a = json.dumps(first.to_dict(), sort_keys=True, separators=(",", ":"))
+    blob_b = json.dumps(second.to_dict(), sort_keys=True, separators=(",", ":"))
+    assert blob_a == blob_b
+
+
+def test_golden_fixture_covers_acceptance_point():
+    """The 16x16 s=64 perf acceptance point is pinned by a fixture."""
+    assert "paragon:16x16|PersAlltoAll|s=64|L=4096|seed=0" in GOLDEN
