@@ -1,0 +1,12 @@
+"""Robustness: Br_* slowdown and delivery under injected faults."""
+
+from __future__ import annotations
+
+from repro.bench import robustness
+
+from benchmarks.conftest import run_experiment
+
+
+def test_robustness_faults(benchmark):
+    """Link failure detours cheaply; degraded links slow but deliver."""
+    run_experiment(benchmark, robustness.robustness_faults)

@@ -40,6 +40,7 @@ from repro.distributions import (
     list_distributions,
 )
 from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultSchedule
 from repro.machines import Machine, MachineParams, machine_from_spec, paragon, t3d
 from repro.sweep import ResultCache, SweepExecutor, SweepPoint, SweepSpec
 
@@ -65,6 +66,8 @@ __all__ = [
     "get_distribution",
     "list_distributions",
     "machine_from_spec",
+    "FaultSchedule",
+    "FaultInjector",
     "ResultCache",
     "SweepExecutor",
     "SweepPoint",

@@ -59,6 +59,15 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="run seed")
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject faults, e.g. 'link:(2,3)-(2,4)@500us;node:17' or "
+            "'degrade:links=0.25,factor=4' (grammar in EXPERIMENTS.md)"
+        ),
+    )
+    parser.add_argument(
         "--show-sources", action="store_true", help="render the placement"
     )
     parser.add_argument(
@@ -105,7 +114,11 @@ def main(argv: List[str] | None = None) -> int:
             )
             executor = SweepExecutor(jobs=args.jobs, cache=cache)
             point = SweepPoint.from_problem(
-                problem, algorithm, seed=args.seed, distribution=args.dist
+                problem,
+                algorithm,
+                seed=args.seed,
+                distribution=args.dist,
+                faults=args.faults,
             )
             result = executor.run([point])[0]
             if cache is not None and executor.last_report is not None:
@@ -116,7 +129,8 @@ def main(argv: List[str] | None = None) -> int:
                 )
         else:
             result = repro.run_broadcast(
-                problem, algorithm, seed=args.seed, tracer=tracer
+                problem, algorithm, seed=args.seed, tracer=tracer,
+                faults=args.faults,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -126,6 +140,10 @@ def main(argv: List[str] | None = None) -> int:
     print(f"problem:    s = {problem.s}, L = {args.L} bytes "
           f"({distribution.name} distribution)")
     print(f"time:       {result.elapsed_ms:.3f} ms")
+    if result.faults_active:
+        print(f"faults:     {'; '.join(result.faults_active)}")
+        print(f"delivery:   {result.delivery * 100.0:.1f}%"
+              + ("" if result.complete else "  (PARTIAL)"))
     print(f"rounds:     {result.num_rounds}")
     print(f"messages:   {result.num_transfers}")
     metrics = result.metrics

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 from repro.bench.ablations import ALL_ABLATIONS
 from repro.bench.extensions import ALL_EXTENSIONS
 from repro.bench.figures import ALL_FIGURES
+from repro.bench.robustness import ALL_ROBUSTNESS
 from repro.bench.runner import use_executor
 from repro.bench.types import FigureResult
 from repro.sweep import DEFAULT_CACHE_DIR, ResultCache, SweepExecutor
@@ -50,6 +51,7 @@ def available_experiments() -> Dict[str, Callable[[bool], FigureResult]]:
     table.update(ALL_FIGURES)
     table.update(ALL_ABLATIONS)
     table.update(ALL_EXTENSIONS)
+    table.update(ALL_ROBUSTNESS)
     return table
 
 
@@ -61,6 +63,7 @@ def _expand(names: List[str]) -> List[str]:
             out.extend(ALL_FIGURES)
             out.extend(ALL_ABLATIONS)
             out.extend(ALL_EXTENSIONS)
+            out.extend(ALL_ROBUSTNESS)
         elif name == "figures":
             out.extend(ALL_FIGURES)
         elif name == "ablations":

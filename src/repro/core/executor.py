@@ -28,9 +28,10 @@ actual simulated communication, independent of
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.core.schedule import Schedule
+from repro.errors import PeerFailedError
 from repro.mpsim.comm import Comm
 
 __all__ = ["ScheduleExecutor"]
@@ -60,6 +61,11 @@ class ScheduleExecutor:
         # One shared snapshot: initial_holdings() builds a p-tuple per
         # call, so indexing a cached copy per rank avoids O(p^2) setup.
         self._initial = self.problem.initial_holdings()
+        #: Per-rank live holdings, updated in place as envelopes arrive.
+        #: After a run this doubles as the partial-delivery record: ranks
+        #: stalled by injected faults leave their entry at whatever
+        #: subset they had actually combined when the run ended.
+        self.holdings: List[Optional[Set[int]]] = [None] * p
         self._plan: List[List[_RoundPlan]] = [[] for _ in range(p)]
         for round_idx, rnd in enumerate(schedule.rounds):
             touched: Dict[int, Tuple[List[Tuple[int, Any, int]], List[int]]] = {}
@@ -77,19 +83,27 @@ class ScheduleExecutor:
         """The SPMD program for ``comm.rank``; returns its final holdings."""
         rank = comm.rank
         holdings: Set[int] = set(self._initial[rank])
+        self.holdings[rank] = holdings
         iteration_cell = comm._iteration_cell
         for round_idx, collective, mpi, sends, recvs in self._plan[rank]:
             iteration_cell[0] = round_idx
             mode = comm.with_mode(collective=collective, mpi=mpi)
             requests = []
             for dst, msgset, nbytes in sends:
-                request = yield from mode.isend(
-                    dst, msgset, nbytes=nbytes, tag=round_idx
-                )
+                try:
+                    request = yield from mode.isend(
+                        dst, msgset, nbytes=nbytes, tag=round_idx
+                    )
+                except PeerFailedError:
+                    # Degraded operation: a send into a dead node is
+                    # abandoned, the rank carries on with the rest of its
+                    # schedule, and the shortfall surfaces as a partial
+                    # delivery fraction instead of a crashed run.
+                    continue
                 requests.append(request)
             for src in recvs:
                 envelope = yield from mode.recv(source=src, tag=round_idx)
-                holdings |= envelope.payload
+                holdings.update(envelope.payload)
             for request in requests:
                 yield from request.wait()
         return frozenset(holdings)

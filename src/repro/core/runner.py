@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.executor import ScheduleExecutor
 from repro.core.problem import BroadcastProblem
 from repro.core.schedule import Schedule
 from repro.errors import VerificationError
+from repro.faults import FaultSchedule
 from repro.metrics.report import MetricsReport
 from repro.simulator.trace import Tracer
 
@@ -32,11 +33,22 @@ class BroadcastResult:
     num_rounds: int
     num_transfers: int
     link_utilization: float
+    #: Resolved descriptions of the injected faults (empty = clean run).
+    faults_active: Tuple[str, ...] = ()
+    #: Fraction of (rank, source message) deliveries achieved — 1.0 on a
+    #: clean run; < 1.0 when injected faults made delivery impossible
+    #: for some ranks (the run is then reported, not raised).
+    delivery: float = 1.0
 
     @property
     def elapsed_ms(self) -> float:
         """Completion time in milliseconds (the paper's usual unit)."""
         return self.elapsed_us / 1000.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every rank received every source message."""
+        return self.delivery >= 1.0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible rendering that round-trips via :meth:`from_dict`.
@@ -57,6 +69,12 @@ class BroadcastResult:
             "link_utilization": self.link_utilization,
             "metrics": self.metrics.to_json_dict(),
         }
+        if self.faults_active:
+            # Only fault-injected runs carry these keys, so the JSON of
+            # every clean run — and with it the golden fixtures and any
+            # cached entry — is byte-identical to the pre-faults format.
+            data["faults_active"] = list(self.faults_active)
+            data["delivery"] = self.delivery
         problem = self.problem
         if problem is not None and problem.machine.spec is not None:
             data["problem"] = {
@@ -101,6 +119,8 @@ class BroadcastResult:
             num_rounds=int(data["num_rounds"]),
             num_transfers=int(data["num_transfers"]),
             link_utilization=float(data["link_utilization"]),
+            faults_active=tuple(data.get("faults_active", ())),
+            delivery=float(data.get("delivery", 1.0)),
         )
 
 
@@ -113,6 +133,7 @@ def run_broadcast(
     validate: bool = True,
     verify: bool = True,
     tracer: Optional[Tracer] = None,
+    faults: Union[None, str, Iterable, FaultSchedule] = None,
 ) -> BroadcastResult:
     """Run ``algorithm`` on ``problem`` and return timing plus metrics.
 
@@ -125,7 +146,8 @@ def run_broadcast(
         instance or a registry name (see
         :func:`repro.core.algorithms.get_algorithm`).
     seed:
-        Run seed; feeds the machine's rank mapping (T3D placement).
+        Run seed; feeds the machine's rank mapping (T3D placement) and
+        the fault schedule's seeded degradations.
     contention:
         Pass ``False`` to disable link contention (ablation).
     validate:
@@ -134,20 +156,41 @@ def run_broadcast(
     verify:
         Cross-check that every rank's *simulated* final holdings equal
         the full source set (end-to-end, through the message layer).
+    faults:
+        Optional fault injection: a spec string (see the grammar in
+        EXPERIMENTS.md), clause iterable, or
+        :class:`~repro.faults.FaultSchedule`.  A faulty run operates in
+        degraded mode: instead of raising on a fault-induced hang or a
+        missing message, the result reports ``faults_active`` and the
+        achieved ``delivery`` fraction.
     """
     from repro.core.algorithms import get_algorithm  # local: avoid cycle
 
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
+    fault_schedule = FaultSchedule.coerce(faults)
     schedule: Schedule = algorithm.build_schedule(problem)
     if validate:
         schedule.validate()
     executor = ScheduleExecutor(schedule)
     result = problem.machine.run(
-        executor.program, seed=seed, contention=contention, tracer=tracer
+        executor.program,
+        seed=seed,
+        contention=contention,
+        tracer=tracer,
+        faults=fault_schedule,
+        allow_partial=fault_schedule is not None,
     )
-    if verify:
-        expected = problem.source_set
+    expected = problem.source_set
+    delivery = 1.0
+    if fault_schedule is not None:
+        total = problem.p * len(expected)
+        achieved = sum(
+            len(expected & held) if held is not None else 0
+            for held in executor.holdings
+        )
+        delivery = achieved / total if total else 1.0
+    elif verify:
         for rank, held in enumerate(result.returns):
             if held != expected:
                 missing = sorted(expected - held)
@@ -163,4 +206,6 @@ def run_broadcast(
         num_rounds=schedule.num_rounds,
         num_transfers=schedule.num_transfers,
         link_utilization=result.link_utilization,
+        faults_active=result.faults_active,
+        delivery=delivery,
     )

@@ -14,6 +14,8 @@ __all__ = [
     "RoutingError",
     "TopologyError",
     "CommError",
+    "PeerFailedError",
+    "SendTimeoutError",
     "MatchingError",
     "ConfigurationError",
     "DistributionError",
@@ -49,6 +51,25 @@ class RoutingError(TopologyError):
 
 class CommError(ReproError):
     """Misuse of the message-passing layer (bad rank, bad tag, ...)."""
+
+
+class PeerFailedError(CommError):
+    """A point-to-point operation targeted a node that has failed.
+
+    Raised at the *sender* when fault injection has marked the
+    destination node dead at send time — the simulated analogue of a
+    connection refused / node-down error from the transport layer.
+    """
+
+
+class SendTimeoutError(CommError):
+    """A blocking send with ``timeout_us`` did not complete in time.
+
+    Under fault injection a send can stall indefinitely (dead path) or
+    far beyond its budget (degraded links); algorithms opting into
+    ``Comm.send(..., timeout_us=...)`` get this typed error instead of
+    hanging, and may retry with backoff.
+    """
 
 
 class MatchingError(CommError):

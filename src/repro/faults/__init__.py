@@ -1,0 +1,45 @@
+"""Deterministic fault injection for simulated machine runs.
+
+The paper's testbeds were real MPPs whose links stall and whose nodes
+drop out; this package makes those conditions first-class simulation
+inputs instead of impossibilities.  A :class:`FaultSchedule` — parsed
+from a compact spec string such as ``link:(2,3)-(2,4)@500us``,
+``node:17@0us`` or ``degrade:links=0.25,factor=4`` — is bound to a
+topology at run start, yielding a :class:`FaultInjector` the fabric and
+message layer consult on every transfer:
+
+* a **dead link** is routed around (deterministic BFS detour) where the
+  surviving topology allows it, and otherwise makes the message
+  undeliverable — the receiver hangs and the engine's deadlock
+  diagnostic names the injected faults;
+* a **dead node** additionally makes sends into it raise
+  :class:`~repro.errors.PeerFailedError` at the sender;
+* a **degradation** multiplies the per-byte wire time of a seeded
+  subset of links, slowing runs without breaking delivery.
+
+Everything is a pure function of ``(spec, topology, seed)``: the same
+schedule produces bit-identical results serially, in sweep worker
+processes, and from the on-disk result cache, which is why the sweep
+layer can treat the canonical spec string as just another cache-key
+axis (see :attr:`repro.sweep.SweepPoint.faults`).
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    DegradeFault,
+    FaultSchedule,
+    LinkFault,
+    NodeFault,
+    parse_fault,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "FaultInjector",
+    "LinkFault",
+    "NodeFault",
+    "DegradeFault",
+    "parse_fault",
+]

@@ -1,0 +1,261 @@
+"""Fault-schedule grammar: parsing, canonicalisation, coercion.
+
+The textual grammar (also documented in EXPERIMENTS.md)::
+
+    spec      := fault (";" fault)*
+    fault     := link | node | degrade
+    link      := "link:" endpoint "-" endpoint time?
+    node      := "node:" endpoint time?
+    degrade   := "degrade:" "links=" FRACTION "," "factor=" FACTOR time?
+    endpoint  := INT | "(" INT ("," INT)* ")"
+    time      := "@" NUMBER ("us" | "ms")?        (default: @0us)
+
+Coordinate endpoints (``(row,col)`` on a mesh, ``(x,y,z)`` on a torus)
+are resolved against the topology at bind time; plain integers are node
+ids on any topology.  Times are virtual microseconds from run start.
+
+A schedule's :meth:`FaultSchedule.canonical` string is its identity:
+parsing is normalising (sorted faults, explicit ``@..us`` suffixes), so
+two spellings of the same schedule hash to the same sweep-cache key.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+    from repro.network.topology import Topology
+
+__all__ = [
+    "LinkFault",
+    "NodeFault",
+    "DegradeFault",
+    "Fault",
+    "FaultSchedule",
+    "parse_fault",
+]
+
+#: An endpoint as written in the spec: a node id or a coordinate tuple.
+Endpoint = Union[int, Tuple[int, ...]]
+
+_TIME_RE = re.compile(r"^(?P<value>[0-9]+(?:\.[0-9]+)?)(?P<unit>us|ms)?$")
+_COORD_RE = re.compile(r"^\((?P<body>-?\d+(?:,-?\d+)*)\)$")
+
+
+def _format_endpoint(endpoint: Endpoint) -> str:
+    if isinstance(endpoint, tuple):
+        return "(" + ",".join(str(c) for c in endpoint) + ")"
+    return str(endpoint)
+
+
+def _format_time(at_us: float) -> str:
+    text = f"{at_us:g}"
+    return f"@{text}us"
+
+
+def _parse_endpoint(text: str, context: str) -> Endpoint:
+    text = text.strip()
+    match = _COORD_RE.match(text)
+    if match:
+        return tuple(int(c) for c in match.group("body").split(","))
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad fault endpoint {text!r} in {context!r}; "
+            "use a node id or a coordinate tuple like (2,3)"
+        ) from None
+
+
+def _split_time(body: str, context: str) -> Tuple[str, float]:
+    """Split a trailing ``@TIMEunit`` suffix off ``body``."""
+    if "@" not in body:
+        return body, 0.0
+    body, _, suffix = body.rpartition("@")
+    match = _TIME_RE.match(suffix.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"bad fault time {suffix!r} in {context!r}; use e.g. @500us or @1.5ms"
+        )
+    value = float(match.group("value"))
+    if match.group("unit") == "ms":
+        value *= 1000.0
+    return body, value
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Both directions of the wire between two nodes die at ``at_us``."""
+
+    a: Endpoint
+    b: Endpoint
+    at_us: float = 0.0
+
+    def canonical(self) -> str:
+        return (
+            f"link:{_format_endpoint(self.a)}-{_format_endpoint(self.b)}"
+            f"{_format_time(self.at_us)}"
+        )
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """A node leaves the machine at ``at_us``: all its links die and
+    sends addressed to it raise :class:`~repro.errors.PeerFailedError`."""
+
+    node: Endpoint
+    at_us: float = 0.0
+
+    def canonical(self) -> str:
+        return f"node:{_format_endpoint(self.node)}{_format_time(self.at_us)}"
+
+
+@dataclass(frozen=True)
+class DegradeFault:
+    """A seeded random ``fraction`` of wire links runs ``factor``x slower
+    (per-byte wire time) from ``at_us`` on."""
+
+    fraction: float
+    factor: float
+    at_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"degrade fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"degrade factor must be >= 1, got {self.factor}"
+            )
+
+    def canonical(self) -> str:
+        return (
+            f"degrade:links={self.fraction:g},factor={self.factor:g}"
+            f"{_format_time(self.at_us)}"
+        )
+
+
+Fault = Union[LinkFault, NodeFault, DegradeFault]
+
+
+def parse_fault(text: str) -> Fault:
+    """Parse one fault clause (``link:...``, ``node:...``, ``degrade:...``)."""
+    clause = text.strip()
+    kind, sep, body = clause.partition(":")
+    kind = kind.strip().lower()
+    if not sep or kind not in ("link", "node", "degrade"):
+        raise ConfigurationError(
+            f"bad fault clause {text!r}; expected link:..., node:... or "
+            "degrade:... (see the fault grammar in EXPERIMENTS.md)"
+        )
+    body, at_us = _split_time(body.strip(), clause)
+    if kind == "node":
+        return NodeFault(_parse_endpoint(body, clause), at_us)
+    if kind == "link":
+        # Endpoints may be coordinate tuples containing '-' is impossible
+        # (coordinates are non-negative in every topology), so the first
+        # '-' outside parentheses separates the endpoints.
+        depth = 0
+        split = -1
+        for i, ch in enumerate(body):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch == "-" and depth == 0:
+                split = i
+                break
+        if split < 0:
+            raise ConfigurationError(
+                f"bad link fault {text!r}; use link:A-B like link:5-6 "
+                "or link:(2,3)-(2,4)"
+            )
+        a = _parse_endpoint(body[:split], clause)
+        b = _parse_endpoint(body[split + 1 :], clause)
+        return LinkFault(a, b, at_us)
+    # degrade:links=F,factor=K
+    fields = {}
+    for part in body.split(","):
+        name, sep, value = part.partition("=")
+        if not sep:
+            raise ConfigurationError(
+                f"bad degrade clause {text!r}; use degrade:links=0.25,factor=4"
+            )
+        fields[name.strip().lower()] = value.strip()
+    unknown = set(fields) - {"links", "factor"}
+    if unknown or "links" not in fields or "factor" not in fields:
+        raise ConfigurationError(
+            f"bad degrade clause {text!r}; use degrade:links=0.25,factor=4"
+        )
+    try:
+        fraction = float(fields["links"])
+        factor = float(fields["factor"])
+    except ValueError:
+        raise ConfigurationError(
+            f"bad degrade numbers in {text!r}; links and factor must be numeric"
+        ) from None
+    return DegradeFault(fraction, factor, at_us)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, canonically ordered set of injected faults.
+
+    Construct via :meth:`parse` (spec string or iterable of clauses) or
+    :meth:`coerce` (which additionally passes through ``None`` and
+    existing schedules).  Binding to a topology resolves coordinate
+    endpoints and produces the run-time :class:`FaultInjector`.
+    """
+
+    faults: Tuple[Fault, ...]
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ConfigurationError("a FaultSchedule needs at least one fault")
+        ordered = tuple(sorted(self.faults, key=lambda f: (f.at_us, f.canonical())))
+        object.__setattr__(self, "faults", ordered)
+
+    @classmethod
+    def parse(cls, spec: Union[str, Iterable[Union[str, Fault]]]) -> "FaultSchedule":
+        """Parse a ``;``-separated spec string or an iterable of clauses."""
+        if isinstance(spec, str):
+            clauses = [c for c in (s.strip() for s in spec.split(";")) if c]
+            if not clauses:
+                raise ConfigurationError(f"empty fault spec {spec!r}")
+            return cls(tuple(parse_fault(c) for c in clauses))
+        faults = tuple(
+            item if isinstance(item, (LinkFault, NodeFault, DegradeFault))
+            else parse_fault(item)
+            for item in spec
+        )
+        return cls(faults)
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, str, Iterable, "FaultSchedule"]
+    ) -> Optional["FaultSchedule"]:
+        """``None`` | spec string | iterable | schedule → schedule (or ``None``)."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        return cls.parse(value)
+
+    def canonical(self) -> str:
+        """Normalised spec string — the schedule's cache-key identity."""
+        return ";".join(fault.canonical() for fault in self.faults)
+
+    def bind(self, topology: "Topology", seed: int = 0) -> "FaultInjector":
+        """Resolve this schedule against a topology for one run."""
+        from repro.faults.injector import FaultInjector  # local: avoid cycle
+
+        return FaultInjector(self, topology, seed)
+
+    def __str__(self) -> str:
+        return self.canonical()

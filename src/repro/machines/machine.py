@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlockError
+from repro.faults import FaultSchedule
 from repro.machines.params import MachineParams
 from repro.metrics.report import MetricsReport
 from repro.mpsim.comm import Comm, World
@@ -49,6 +50,12 @@ class RunResult:
     fabric_link_wait: float
     link_utilization: float
     events_scheduled: int = 0
+    #: Resolved descriptions of the injected faults ('' tuple = none).
+    faults_active: Tuple[str, ...] = ()
+    #: Deadlock diagnostic when the run ended blocked under
+    #: ``allow_partial`` (``None`` = the run completed).  Ranks that
+    #: never finished have ``None`` in ``returns``.
+    deadlock: Optional[str] = None
 
 
 class Machine:
@@ -192,13 +199,23 @@ class Machine:
         contention: bool = True,
         tracer: Optional[Tracer] = None,
         until: Optional[float] = None,
+        faults: Optional[FaultSchedule] = None,
+        allow_partial: bool = False,
     ) -> RunResult:
         """Run one SPMD program on all ranks; returns timing and metrics.
 
         ``program_factory(comm)`` is called once per rank with that
         rank's world communicator and must return a generator.
+
+        ``faults`` injects a :class:`~repro.faults.FaultSchedule`
+        (bound deterministically to this topology and ``seed``).  With
+        ``allow_partial`` a fault-induced deadlock does not raise:
+        the result carries the diagnostic in ``RunResult.deadlock`` and
+        ``None`` returns for the ranks that never finished — degraded
+        operation instead of a crash.
         """
         engine = Engine(tracer=tracer)
+        injector = faults.bind(self.topology, seed) if faults is not None else None
         fabric = Fabric(
             self.topology,
             t_byte=self.params.t_byte,
@@ -206,23 +223,36 @@ class Machine:
             route_setup=self.params.route_setup,
             contention=contention,
             switching=self.params.switching,
+            injector=injector,
         )
         mapping = self._mapping_factory(self.topology, seed)
-        world = World(engine, fabric, self.params, mapping)
+        world = World(engine, fabric, self.params, mapping, injector=injector)
+        if injector is not None:
+            engine.fault_context = injector.descriptions
         processes = [
             engine.process(program_factory(world.comm(rank)), name=f"rank{rank}")
             for rank in range(self.p)
         ]
-        engine.run(until=until)
+        deadlock: Optional[str] = None
+        try:
+            engine.run(until=until)
+        except DeadlockError as exc:
+            if not allow_partial:
+                raise
+            deadlock = str(exc)
         elapsed = engine.now
         return RunResult(
             elapsed_us=elapsed,
             metrics=MetricsReport.from_collector(world.metrics),
-            returns=tuple(proc.value for proc in processes),
+            returns=tuple(
+                proc.value if proc.triggered else None for proc in processes
+            ),
             fabric_transfers=fabric.transfers,
             fabric_link_wait=fabric.total_link_wait,
             link_utilization=fabric.link_utilization(until=elapsed),
             events_scheduled=engine.events_scheduled,
+            faults_active=injector.descriptions if injector is not None else (),
+            deadlock=deadlock,
         )
 
     def __repr__(self) -> str:

@@ -51,11 +51,13 @@ def rank_intervals(tracer: Tracer) -> Dict[int, List[Tuple[float, float, str]]]:
 def render_timeline(
     tracer: Tracer, p: int, width: int = 72, max_ranks: int = 40
 ) -> str:
-    """One text row per rank: ``-`` transmitting, ``r`` receive done.
+    """One text row per rank: ``-`` transmitting, ``r`` receive done,
+    ``+`` receive completing inside a transmission interval.
 
     Time is scaled so the whole run fits ``width`` columns.  Machines
-    larger than ``max_ranks`` are subsampled evenly (the hot ranks —
-    rank 0 and the last rank — are always kept).
+    larger than ``max_ranks`` are subsampled evenly — never more than
+    ``max_ranks`` rows, with the hot ranks (rank 0 and the last rank)
+    always kept.
     """
     intervals = rank_intervals(tracer)
     horizon = max(
@@ -69,12 +71,19 @@ def render_timeline(
     if p <= max_ranks:
         ranks = list(range(p))
     else:
-        step = p / max_ranks
-        ranks = sorted({0, p - 1} | {int(i * step) for i in range(max_ranks)})
+        # Endpoint-inclusive even spacing: i = 0 lands on rank 0 and
+        # i = max_ranks - 1 on rank p - 1, so the dedup below can only
+        # shrink the row count, never push it past max_ranks.
+        step = (p - 1) / max(1, max_ranks - 1)
+        ranks = sorted({round(i * step) for i in range(max_ranks)})
 
-    lines = [
-        f"time 0 .. {horizon:.1f} us  ({'-' : ^3}= transmitting, r = recv done)"
-    ]
+    header = (
+        f"time 0 .. {horizon:.1f} us  "
+        "(- = transmitting, r = recv done, + = recv during send)"
+    )
+    if tracer.truncated:
+        header += "  [trace truncated: timeline is incomplete]"
+    lines = [header]
     for rank in ranks:
         row = [" "] * width
         for start, end, kind in intervals.get(rank, []):

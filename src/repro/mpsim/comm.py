@@ -34,16 +34,18 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import CommError
+from repro.errors import CommError, PeerFailedError, SendTimeoutError
 from repro.metrics.counters import MetricsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
     from repro.machines.params import MachineParams
 from repro.mpsim.envelope import Envelope
 from repro.mpsim.requests import Request
 from repro.network.fabric import Fabric
 from repro.network.mapping import RankMapping
 from repro.simulator.engine import Engine
+from repro.simulator.events import AnyOf
 from repro.simulator.resources import Store
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "World", "Comm"]
@@ -64,11 +66,14 @@ class World:
         params: "MachineParams",
         mapping: RankMapping,
         metrics: Optional[MetricsCollector] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.engine = engine
         self.fabric = fabric
         self.params = params
         self.mapping = mapping
+        #: Fault state shared with the fabric; ``None`` = perfect machine.
+        self.injector = injector
         self.size = mapping.size
         self.inboxes: List[Store] = [Store(engine) for _ in range(self.size)]
         self.metrics = metrics if metrics is not None else MetricsCollector(self.size)
@@ -264,9 +269,37 @@ class Comm:
             yield engine.timeout(overhead)
         now = engine.now
         mapping = world.mapping
+        injector = world.injector
+        dst_node = mapping.node_of(dst_world)
+        if injector is not None and injector.node_dead(dst_node, now):
+            raise PeerFailedError(
+                f"send from rank {src_world} to rank {dst_world} failed: "
+                f"node {dst_node} is dead at t={now:.3f}us"
+            )
         stats = world.fabric.transfer(
-            mapping.node_of(src_world), mapping.node_of(dst_world), nbytes, now
+            mapping.node_of(src_world), dst_node, nbytes, now
         )
+        if stats.lost:
+            # Every route to the destination crosses a dead link: the
+            # message vanishes in the fabric.  The returned request never
+            # completes — blocking on it hangs exactly like the real
+            # machine, and the deadlock diagnostic names the faults.
+            world.metrics.record_send(
+                src_world,
+                nbytes,
+                0.0,
+                iteration=self._iteration_cell[0],
+                when=now,
+            )
+            if engine.tracer is not None:
+                engine.trace(
+                    "send_lost",
+                    src=src_world,
+                    dst=dst_world,
+                    tag=tag,
+                    nbytes=nbytes,
+                )
+            return Request(engine.event(), kind="send")
         envelope = Envelope(
             source=src_world,
             dest=dst_world,
@@ -306,12 +339,66 @@ class Comm:
         return Request(completion, kind="send")
 
     def send(
-        self, dest: int, payload: Any, nbytes: int, tag: int = 0
+        self,
+        dest: int,
+        payload: Any,
+        nbytes: int,
+        tag: int = 0,
+        *,
+        timeout_us: Optional[float] = None,
+        max_retries: int = 0,
+        backoff_factor: float = 2.0,
     ) -> Generator[Any, Any, Envelope]:
-        """Blocking send: completes when the last byte reaches ``dest``."""
-        request = yield from self.isend(dest, payload, nbytes, tag)
-        envelope = yield from request.wait()
-        return envelope
+        """Blocking send: completes when the last byte reaches ``dest``.
+
+        Without ``timeout_us`` this is the classic blocking send, which
+        under fault injection can hang forever on a dead path.  With
+        ``timeout_us`` the send races its completion against a timer:
+        on expiry the message is re-issued up to ``max_retries`` times,
+        each attempt's budget growing by ``backoff_factor`` (the sender
+        stays blocked through the budget, which *is* the backoff), and
+        :class:`~repro.errors.SendTimeoutError` is raised once the
+        attempts are exhausted.  Retries are at-least-once: a late
+        original may still arrive alongside the retry's copy, so
+        receivers of retried traffic must tolerate duplicates.
+        """
+        if timeout_us is None:
+            request = yield from self.isend(dest, payload, nbytes, tag)
+            envelope = yield from request.wait()
+            return envelope
+        if timeout_us <= 0.0:
+            raise CommError(f"send timeout must be positive, got {timeout_us}")
+        if max_retries < 0:
+            raise CommError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_factor < 1.0:
+            raise CommError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
+        engine = self.world.engine
+        budget = float(timeout_us)
+        for attempt in range(max_retries + 1):
+            request = yield from self.isend(dest, payload, nbytes, tag)
+            index, value = yield AnyOf(
+                engine, (request.event, engine.timeout(budget))
+            )
+            if index == 0:
+                return value
+            if engine.tracer is not None:
+                engine.trace(
+                    "send_timeout",
+                    src=self.group[self.rank],
+                    dst=self.translate(dest),
+                    tag=tag,
+                    attempt=attempt,
+                    budget_us=budget,
+                )
+            budget *= backoff_factor
+        raise SendTimeoutError(
+            f"send from rank {self.group[self.rank]} to rank "
+            f"{self.translate(dest)} timed out after {max_retries + 1} "
+            f"attempt(s) (final budget {budget / backoff_factor:g}us) "
+            f"at t={engine.now:.3f}us"
+        )
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG

@@ -30,11 +30,15 @@ charged and links never conflict.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.network.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["Fabric", "TransferStats"]
 
@@ -70,6 +74,11 @@ class TransferStats:
     def duration(self) -> float:
         return self.finish_time - self.start_time
 
+    @property
+    def lost(self) -> bool:
+        """Whether the transfer can never complete (dead path, no detour)."""
+        return self.finish_time == math.inf
+
 
 class Fabric:
     """Reservation-based contention model over a :class:`Topology`.
@@ -88,6 +97,11 @@ class Fabric:
     contention:
         When ``False``, links are never reserved: every transfer starts
         immediately (ablation mode).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`.  When set, each
+        transfer is planned fault-aware: dead links force a detour (or
+        lose the message — ``TransferStats.lost``), and degraded links
+        multiply the per-byte wire time.
     """
 
     def __init__(
@@ -99,6 +113,7 @@ class Fabric:
         route_setup: float = 0.0,
         contention: bool = True,
         switching: str = "wormhole",
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if t_byte < 0 or t_hop < 0 or route_setup < 0:
             raise ConfigurationError("fabric timing parameters must be >= 0")
@@ -113,6 +128,8 @@ class Fabric:
         self.route_setup = route_setup
         self.contention = contention
         self.switching = switching
+        self.injector = injector
+        self._lost = 0
         self._free_at: List[float] = [0.0] * topology.num_links
         self._busy_time: List[float] = [0.0] * topology.num_links
         self._transfers = 0
@@ -130,23 +147,49 @@ class Fabric:
         if src == dst:
             self._transfers += 1
             return TransferStats(now, now, now, hops=0)
-        # Cached immutable link path — shared with the topology's memo;
-        # only ever iterated here, never mutated.
-        path = self.topology.route_links(src, dst)
+        byte_factor = 1.0
+        if self.injector is not None:
+            planned, byte_factor = self.injector.plan(src, dst, now)
+            if planned is None:
+                # Undeliverable: every route to the destination crosses a
+                # dead link.  The message is lost — the caller must not
+                # schedule a delivery, and the receiver's hang surfaces
+                # through the engine's fault-naming deadlock diagnostic.
+                self._transfers += 1
+                self._lost += 1
+                return TransferStats(now, math.inf, math.inf, hops=-1)
+            path: Sequence[int] = planned
+        else:
+            # Cached immutable link path — shared with the topology's
+            # memo; only ever iterated here, never mutated.
+            path = self.topology.route_links(src, dst)
         hops = len(path) - 2  # exclude injection and ejection channels
         if self.switching == "store_and_forward":
             start, finish = self._transfer_store_and_forward(path, nbytes, now)
         else:
-            start, finish = self._transfer_wormhole(path, hops, nbytes, now)
+            start, finish = self._transfer_wormhole(
+                path, hops, nbytes, now, byte_factor
+            )
         self._transfers += 1
         self._total_wait += start - now
         return TransferStats(now, start, finish, hops=hops)
 
     def _transfer_wormhole(
-        self, path: Sequence[int], hops: int, nbytes: int, now: float
+        self,
+        path: Sequence[int],
+        hops: int,
+        nbytes: int,
+        now: float,
+        byte_factor: float = 1.0,
     ) -> Tuple[float, float]:
-        """Path reservation: the whole path is held for the duration."""
-        duration = self.route_setup + hops * self.t_hop + nbytes * self.t_byte
+        """Path reservation: the whole path is held for the duration.
+
+        ``byte_factor`` scales the per-byte wire term — a worm streams
+        at the rate of its slowest (possibly degraded) path link.
+        """
+        duration = (
+            self.route_setup + hops * self.t_hop + nbytes * self.t_byte * byte_factor
+        )
         if not self.contention:
             return now, now + duration
         free_at = self._free_at
@@ -174,10 +217,13 @@ class Fabric:
         at most one link at a time; pipelining across messages emerges
         from per-link reservations.
         """
-        per_link = self.t_hop + nbytes * self.t_byte
+        injector = self.injector
         arrive = now + self.route_setup
         first_start = None
         for link in path:
+            per_link = self.t_hop + nbytes * self.t_byte * (
+                1.0 if injector is None else injector.link_factor(link, now)
+            )
             start = max(arrive, self._free_at[link]) if self.contention else arrive
             finish = start + per_link
             if self.contention:
@@ -194,6 +240,11 @@ class Fabric:
     def transfers(self) -> int:
         """Number of network transfers performed so far."""
         return self._transfers
+
+    @property
+    def lost_transfers(self) -> int:
+        """Transfers that could never be delivered (fault injection)."""
+        return self._lost
 
     @property
     def total_link_wait(self) -> float:
@@ -231,4 +282,5 @@ class Fabric:
         self._free_at = [0.0] * self.topology.num_links
         self._busy_time = [0.0] * self.topology.num_links
         self._transfers = 0
+        self._lost = 0
         self._total_wait = 0.0

@@ -53,6 +53,10 @@ class Engine:
         self._seq = 0
         self._processes: List[Process] = []
         self.tracer = tracer
+        #: Descriptions of injected faults in scope for this run; when a
+        #: deadlock is raised these are appended to the diagnostic, so a
+        #: hang caused by a dead link reads as such instead of as a bug.
+        self.fault_context: Tuple[str, ...] = ()
 
     # -- clock ------------------------------------------------------------
     @property
@@ -137,9 +141,14 @@ class Engine:
         if blocked:
             detail = "; ".join(p.describe_block() for p in blocked[:16])
             more = "" if len(blocked) <= 16 else f" (+{len(blocked) - 16} more)"
+            faults = (
+                f" [active faults: {', '.join(self.fault_context)}]"
+                if self.fault_context
+                else ""
+            )
             raise DeadlockError(
                 f"simulation deadlocked at t={self._now:.3f}us with "
-                f"{len(blocked)} blocked process(es): {detail}{more}"
+                f"{len(blocked)} blocked process(es): {detail}{more}{faults}"
             )
 
     # -- introspection ----------------------------------------------------

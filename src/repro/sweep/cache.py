@@ -71,7 +71,10 @@ class ResultCache:
             for field in _REQUIRED_RESULT_FIELDS:
                 if field not in result:
                     raise KeyError(field)
-            compute_s = float(entry.get("compute_s", 0.0))
+            # A missing compute_s is a format defect like any other —
+            # defaulting it to 0.0 would silently zero the speedup
+            # accounting — so KeyError here discards and recomputes.
+            compute_s = float(entry["compute_s"])
         except (ValueError, KeyError, TypeError):
             try:
                 path.unlink()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -42,13 +43,35 @@ JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: argument > ``$REPRO_SWEEP_JOBS`` > 1."""
+    """Effective worker count: argument > ``$REPRO_SWEEP_JOBS`` > 1.
+
+    An unusable environment value (not an integer, or below 1) falls
+    back to serial — but loudly, with a :class:`RuntimeWarning` naming
+    the bad value, so a typo'd ``REPRO_SWEEP_JOBS=abc`` in a CI config
+    does not silently run a sweep 16x slower than intended.
+    """
     if jobs is None:
         raw = os.environ.get(JOBS_ENV_VAR, "")
+        if not raw:
+            return 1
         try:
-            jobs = int(raw) if raw else 1
+            jobs = int(raw)
         except ValueError:
-            jobs = 1
+            warnings.warn(
+                f"ignoring {JOBS_ENV_VAR}={raw!r}: not an integer; "
+                "running serial (jobs=1)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+        if jobs < 1:
+            warnings.warn(
+                f"ignoring {JOBS_ENV_VAR}={raw!r}: worker count must be "
+                ">= 1; running serial (jobs=1)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
     return max(1, int(jobs))
 
 
@@ -67,6 +90,7 @@ def evaluate_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
         point.algorithm,
         seed=point.seed,
         contention=point.contention,
+        faults=point.faults,
     )
     return result.to_dict(), time.perf_counter() - start
 

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro._version import __version__
 from repro.core.problem import BroadcastProblem
 from repro.errors import ConfigurationError
+from repro.faults import FaultSchedule
 from repro.machines import machine_from_spec
 
 __all__ = ["SweepPoint", "SweepSpec"]
@@ -40,7 +41,11 @@ class SweepPoint:
     byte table of non-uniform problems.  ``distribution`` is a
     provenance label; it participates in the cache key (two identically
     placed points from different distributions hash apart, which only
-    costs a rare duplicate cache entry).
+    costs a rare duplicate cache entry).  ``faults`` is an optional
+    fault-injection spec, stored canonically so every spelling of the
+    same schedule shares one cache entry; ``None`` (the default) keeps
+    the point's payload — and with it the cache key — byte-identical to
+    the pre-faults format.
     """
 
     machine: str
@@ -51,6 +56,7 @@ class SweepPoint:
     contention: bool = True
     sizes: Optional[Tuple[Tuple[int, int], ...]] = None
     distribution: Optional[str] = None
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(int(r) for r in self.sources))
@@ -59,6 +65,10 @@ class SweepPoint:
                 self,
                 "sizes",
                 tuple(sorted((int(r), int(v)) for r, v in self.sizes)),
+            )
+        if self.faults is not None:
+            object.__setattr__(
+                self, "faults", FaultSchedule.coerce(self.faults).canonical()
             )
 
     @classmethod
@@ -70,6 +80,7 @@ class SweepPoint:
         seed: int = 0,
         contention: bool = True,
         distribution: Optional[str] = None,
+        faults: Optional[str] = None,
     ) -> "SweepPoint":
         """Describe ``run_broadcast(problem, algorithm, ...)`` as a point.
 
@@ -98,6 +109,7 @@ class SweepPoint:
             contention=contention,
             sizes=sizes,
             distribution=distribution,
+            faults=faults,
         )
 
     # -- identity ----------------------------------------------------------
@@ -107,8 +119,11 @@ class SweepPoint:
         Everything the result depends on is here — including the package
         version, so recalibrated machine parameters in a future release
         invalidate old cache entries instead of silently serving them.
+        The ``faults`` key appears only on fault-injected points, so the
+        keys (and cached entries) of fault-free points are unchanged
+        from the pre-faults format.
         """
-        return {
+        data: Dict[str, Any] = {
             "schema": 1,
             "version": __version__,
             "machine": self.machine,
@@ -120,6 +135,9 @@ class SweepPoint:
             "seed": self.seed,
             "contention": self.contention,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults
+        return data
 
     def key(self) -> str:
         """Stable content hash of :meth:`payload` (the cache key)."""
@@ -139,6 +157,7 @@ class SweepPoint:
             contention=payload["contention"],
             sizes=tuple((r, v) for r, v in sizes) if sizes else None,
             distribution=payload.get("distribution"),
+            faults=payload.get("faults"),
         )
 
     # -- evaluation support ------------------------------------------------
@@ -169,10 +188,13 @@ class SweepSpec:
     algorithms: Tuple[str, ...]
     seeds: Tuple[int, ...] = (0,)
     contention: bool = True
+    #: Fault-injection axis: each entry is a spec string (canonicalised
+    #: at point construction) or ``None`` for the fault-free baseline.
+    faults: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         for name in ("machines", "distributions", "s_values", "message_sizes",
-                     "algorithms", "seeds"):
+                     "algorithms", "seeds", "faults"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
             if not getattr(self, name):
                 raise ConfigurationError(f"SweepSpec.{name} must be non-empty")
@@ -187,6 +209,7 @@ class SweepSpec:
             * len(self.message_sizes)
             * len(self.algorithms)
             * len(self.seeds)
+            * len(self.faults)
         )
 
     def points(self) -> List[SweepPoint]:
@@ -203,15 +226,17 @@ class SweepSpec:
                     for size in self.message_sizes:
                         for algorithm in self.algorithms:
                             for seed in self.seeds:
-                                out.append(
-                                    SweepPoint(
-                                        machine=spec,
-                                        sources=sources,
-                                        message_size=size,
-                                        algorithm=algorithm,
-                                        seed=seed,
-                                        contention=self.contention,
-                                        distribution=dist_key,
+                                for fault_spec in self.faults:
+                                    out.append(
+                                        SweepPoint(
+                                            machine=spec,
+                                            sources=sources,
+                                            message_size=size,
+                                            algorithm=algorithm,
+                                            seed=seed,
+                                            contention=self.contention,
+                                            distribution=dist_key,
+                                            faults=fault_spec,
+                                        )
                                     )
-                                )
         return out

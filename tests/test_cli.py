@@ -68,6 +68,37 @@ class TestReproCLI:
         assert code == 0
         assert "rank" in out
 
+    def test_faults_flag_reports_delivery(self, capsys):
+        code = repro_main(
+            [
+                "--machine", "paragon:4x4", "--algorithm", "Br_Lin",
+                "--s", "4", "--faults", "node:15",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:" in out and "node 15 dead" in out
+        assert "delivery:" in out and "PARTIAL" in out
+
+    def test_faults_flag_complete_delivery(self, capsys):
+        code = repro_main(
+            [
+                "--machine", "paragon:4x4", "--algorithm", "Br_Lin",
+                "--s", "4", "--faults", "link:5-6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivery:   100.0%" in out
+        assert "PARTIAL" not in out
+
+    def test_bad_faults_spec_is_graceful(self, capsys):
+        code = repro_main(
+            ["--machine", "paragon:4x4", "--s", "4", "--faults", "explode:7"]
+        )
+        assert code == 2
+        assert "fault" in capsys.readouterr().err
+
     def test_bad_machine_is_graceful(self, capsys):
         code = repro_main(["--machine", "nonsense:1"])
         assert code == 2
@@ -100,6 +131,8 @@ class TestBenchCLI:
     def test_registry_complete(self):
         table = available_experiments()
         # 13 figures + 3 §5 text claims + 5 ablations + 3 extensions
-        assert len(table) == 24
+        # + 1 robustness study
+        assert len(table) == 25
+        assert "robustness" in table
         for fn in table.values():
             assert callable(fn)

@@ -67,3 +67,64 @@ class TestRenderTimeline:
         art = render_timeline(tracer, p=small_paragon.p)
         assert "-" in art  # transmissions
         assert "r" in art or "+" in art  # receive completions
+
+
+def synthetic_tracer(p: int) -> Tracer:
+    """One send per rank — enough activity to render without simulating."""
+    tracer = Tracer()
+    for rank in range(p):
+        tracer.record(
+            float(rank),
+            "send",
+            {"src": rank, "start": float(rank), "finish": float(rank + 1)},
+        )
+    return tracer
+
+
+class TestSubsamplingClamp:
+    def test_never_exceeds_max_ranks(self):
+        # Regression: int(i * p / max_ranks) sampling plus the forced
+        # {0, p - 1} endpoints could emit max_ranks + 1 rows.
+        for p in (41, 53, 97, 100, 128, 997):
+            tracer = synthetic_tracer(p)
+            for max_ranks in (1, 2, 3, 7, 10, 40):
+                art = render_timeline(tracer, p=p, max_ranks=max_ranks)
+                rows = len(art.splitlines()) - 1  # minus header
+                assert rows <= max_ranks, (p, max_ranks, rows)
+
+    def test_endpoints_always_sampled(self):
+        tracer = synthetic_tracer(100)
+        art = render_timeline(tracer, p=100, max_ranks=10)
+        assert any(line.startswith("rank    0 ") for line in art.splitlines())
+        assert any(line.startswith("rank   99 ") for line in art.splitlines())
+
+    def test_small_machines_unsampled(self):
+        tracer = synthetic_tracer(8)
+        art = render_timeline(tracer, p=8, max_ranks=40)
+        assert len(art.splitlines()) == 9  # header + every rank
+
+
+class TestLegendAndTruncation:
+    def test_legend_documents_every_mark(self):
+        tracer = synthetic_tracer(4)
+        header = render_timeline(tracer, p=4).splitlines()[0]
+        assert "- = transmitting" in header
+        assert "r = recv done" in header
+        assert "+ = recv during send" in header
+
+    def test_truncated_trace_flagged_in_header(self):
+        tracer = Tracer(limit=2)
+        for rank in range(4):
+            tracer.record(
+                float(rank),
+                "send",
+                {"src": rank, "start": float(rank), "finish": float(rank + 1)},
+            )
+        assert tracer.truncated
+        header = render_timeline(tracer, p=4).splitlines()[0]
+        assert "trace truncated" in header
+
+    def test_complete_trace_not_flagged(self):
+        tracer = synthetic_tracer(4)
+        header = render_timeline(tracer, p=4).splitlines()[0]
+        assert "truncated" not in header

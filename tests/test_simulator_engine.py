@@ -189,6 +189,50 @@ class TestDeadlockDetection:
         engine.process(fine())
         engine.run()  # no raise
 
+    def test_diagnostic_includes_describe_block(self):
+        engine = Engine()
+
+        def stuck():
+            yield engine.event()
+
+        proc = engine.process(stuck(), name="rx-loop")
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        # the message embeds each process's own self-description
+        assert proc.describe_block() in str(excinfo.value)
+        assert "rx-loop waiting on" in str(excinfo.value)
+
+    def test_diagnostic_truncates_past_sixteen_blocked(self):
+        engine = Engine()
+
+        def stuck():
+            yield engine.event()
+
+        for i in range(20):
+            engine.process(stuck(), name=f"proc{i:02d}")
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        message = str(excinfo.value)
+        assert "20 blocked process(es)" in message
+        assert "(+4 more)" in message
+        # the first 16 are named, the rest folded into the suffix
+        assert "proc15" in message
+        assert "proc16" not in message
+
+    def test_diagnostic_no_truncation_at_exactly_sixteen(self):
+        engine = Engine()
+
+        def stuck():
+            yield engine.event()
+
+        for i in range(16):
+            engine.process(stuck(), name=f"proc{i:02d}")
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        message = str(excinfo.value)
+        assert "more)" not in message
+        assert all(f"proc{i:02d}" in message for i in range(16))
+
 
 class TestRunUntilEdgeCases:
     def test_until_before_first_event_leaves_it_pending(self):

@@ -93,6 +93,24 @@ class TestCacheDefense:
         assert executor.last_report.computed == 1
         assert again.elapsed_us == good.elapsed_us
 
+    def test_missing_compute_s_recomputed(self, tmp_path):
+        # Regression: a missing compute_s used to be served as 0.0,
+        # silently zeroing the entry's contribution to saved-time
+        # accounting.  Absence is a format defect: discard + recompute.
+        cache, executor, good = self.baseline(tmp_path)
+        path = cache.path_for(POINT.key())
+        entry = json.loads(path.read_text())
+        del entry["compute_s"]
+        path.write_text(json.dumps(entry))
+        assert cache.load(POINT) is None
+        assert not path.exists()  # defect deleted, not left to trip again
+        again = executor.run([POINT])[0]
+        assert executor.last_report.computed == 1
+        assert again.elapsed_us == good.elapsed_us
+        # the rewritten entry carries a real compute_s again
+        hit = cache.load(POINT)
+        assert hit is not None and hit[1] > 0.0
+
     def test_stale_payload_recomputed(self, tmp_path):
         # An entry whose stored identity disagrees with the point (e.g.
         # written by a different format version) must not be served.

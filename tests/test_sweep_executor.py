@@ -1,0 +1,44 @@
+"""Executor configuration tests: worker-count resolution."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.sweep.executor import JOBS_ENV_VAR, resolve_jobs
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_used_when_unset(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert resolve_jobs(None) == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the default path must be quiet
+            assert resolve_jobs(None) == 1
+
+    @pytest.mark.parametrize("bad", ["abc", "0", "-2"])
+    def test_bad_env_value_warns_and_falls_back(self, monkeypatch, bad):
+        # Regression: "abc", "0", and "-2" all silently coerced to 1,
+        # hiding the typo that serialised the whole sweep.
+        monkeypatch.setenv(JOBS_ENV_VAR, bad)
+        with pytest.warns(RuntimeWarning, match=bad):
+            assert resolve_jobs(None) == 1
+
+    def test_warning_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "abc")
+        with pytest.warns(RuntimeWarning, match=JOBS_ENV_VAR):
+            resolve_jobs(None)
+
+    def test_valid_env_value_is_quiet(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs(None) == 2

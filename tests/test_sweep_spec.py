@@ -80,6 +80,65 @@ class TestSweepPoint:
         assert via_point.metrics == direct.metrics
 
 
+class TestSweepPointFaults:
+    def test_faults_are_canonicalised_on_construction(self):
+        point = SweepPoint(
+            machine="paragon:4x4",
+            sources=(0, 5),
+            message_size=256,
+            algorithm="Br_Lin",
+            faults="node:3@0.5ms ; link:1-2",
+        )
+        assert point.faults == "link:1-2@0us;node:3@500us"
+
+    def test_spelling_variants_share_a_cache_key(self):
+        base = dict(
+            machine="paragon:4x4",
+            sources=(0, 5),
+            message_size=256,
+            algorithm="Br_Lin",
+        )
+        a = SweepPoint(**base, faults="node:3@0.5ms;link:1-2")
+        b = SweepPoint(**base, faults="link:1-2@0us ; node:3@500us")
+        assert a.key() == b.key()
+
+    def test_faults_change_the_cache_key(self):
+        base = dict(
+            machine="paragon:4x4",
+            sources=(0, 5),
+            message_size=256,
+            algorithm="Br_Lin",
+        )
+        keys = {
+            SweepPoint(**base).key(),
+            SweepPoint(**base, faults="link:1-2").key(),
+            SweepPoint(**base, faults="node:3").key(),
+        }
+        assert len(keys) == 3
+
+    def test_faultfree_payload_has_no_faults_key(self):
+        # Back-compat: the pre-faults payload format (and cache keys)
+        # must be untouched for fault-free points.
+        point = SweepPoint(
+            machine="paragon:4x4",
+            sources=(0, 5),
+            message_size=256,
+            algorithm="Br_Lin",
+        )
+        assert "faults" not in point.payload()
+
+    def test_faults_round_trip_through_payload(self):
+        point = SweepPoint(
+            machine="paragon:4x4",
+            sources=(0, 5),
+            message_size=256,
+            algorithm="Br_Lin",
+            faults="link:1-2",
+        )
+        clone = SweepPoint.from_payload(json.loads(json.dumps(point.payload())))
+        assert clone == point
+
+
 class TestSweepSpec:
     def test_expansion_size_and_order(self):
         spec = SweepSpec(
@@ -107,6 +166,29 @@ class TestSweepSpec:
                 message_sizes=(128,),
                 algorithms=("Br_Lin",),
             )
+
+    def test_faults_axis_expands(self):
+        spec = SweepSpec(
+            machines=("paragon:4x4",),
+            distributions=("E",),
+            s_values=(2,),
+            message_sizes=(128,),
+            algorithms=("Br_Lin",),
+            faults=(None, "link:1-2"),
+        )
+        points = spec.points()
+        assert len(points) == spec.num_points == 2
+        assert {pt.faults for pt in points} == {None, "link:1-2@0us"}
+
+    def test_faults_axis_defaults_to_faultfree(self):
+        spec = SweepSpec(
+            machines=("paragon:4x4",),
+            distributions=("E",),
+            s_values=(2,),
+            message_sizes=(128,),
+            algorithms=("Br_Lin",),
+        )
+        assert all(pt.faults is None for pt in spec.points())
 
 
 class TestBroadcastResultSerialization:
