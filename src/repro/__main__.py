@@ -38,6 +38,12 @@ def parse_machine(spec: str) -> "repro.Machine":
 
 
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "chaos":
+        from repro.faults.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one s-to-p broadcast on a simulated MPP.",
@@ -66,6 +72,11 @@ def main(argv: List[str] | None = None) -> int:
             "inject faults, e.g. 'link:(2,3)-(2,4)@500us;node:17' or "
             "'degrade:links=0.25,factor=4' (grammar in EXPERIMENTS.md)"
         ),
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="run the recovery protocol after a faulty run (needs --faults)",
     )
     parser.add_argument(
         "--show-sources", action="store_true", help="render the placement"
@@ -119,6 +130,7 @@ def main(argv: List[str] | None = None) -> int:
                 seed=args.seed,
                 distribution=args.dist,
                 faults=args.faults,
+                recover=args.recover and args.faults is not None,
             )
             result = executor.run([point])[0]
             if cache is not None and executor.last_report is not None:
@@ -131,6 +143,7 @@ def main(argv: List[str] | None = None) -> int:
             result = repro.run_broadcast(
                 problem, algorithm, seed=args.seed, tracer=tracer,
                 faults=args.faults,
+                recover=args.recover and args.faults is not None,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -144,6 +157,12 @@ def main(argv: List[str] | None = None) -> int:
         print(f"faults:     {'; '.join(result.faults_active)}")
         print(f"delivery:   {result.delivery * 100.0:.1f}%"
               + ("" if result.complete else "  (PARTIAL)"))
+    if result.recovered is not None:
+        print(
+            f"recovery:   {'complete' if result.recovered else 'INCOMPLETE'} "
+            f"({result.recovery_rounds} round(s), "
+            f"{result.recovery_time_us / 1000.0:.3f} ms)"
+        )
     print(f"rounds:     {result.num_rounds}")
     print(f"messages:   {result.num_transfers}")
     metrics = result.metrics

@@ -10,7 +10,16 @@ deliver?*  Three conditions per algorithm on one Paragon submesh:
   crossing it take the BFS detour, so delivery must stay complete and
   the cost shows up as added contention on the surviving links;
 * **degrade** — a seeded 25% of links at 4x per-byte cost, the
-  "congested half-working machine" regime.
+  "congested half-working machine" regime;
+* **node-fail** — one non-source corner node dead at t=0: its rank can
+  never deliver, and whatever the schedule routed *through* it stalls,
+  so delivery drops below 1;
+* **node-fail+recover** — the same schedule followed by the recovery
+  protocol (:func:`repro.core.recovery.run_recovery`): surviving ranks
+  gossip delivery bitmaps and re-serve what is missing, which must
+  bring every live rank back to complete delivery (63/64 of the total
+  — the dead rank itself is unrecoverable).  Its slowdown cell charges
+  the *total* time to that state: primary run plus recovery.
 
 Runs go through :func:`repro.run_broadcast` directly (same seeded,
 deterministic path the sweep executor uses) so the table is exactly
@@ -39,6 +48,12 @@ _ALGORITHMS = ("Br_Lin", "Br_xy_source", "Br_xy_dim", "2-Step", "PersAlltoAll")
 _LINK_FAIL = "link:(3,3)-(3,4)@0us"
 _DEGRADE = "degrade:links=0.25,factor=4"
 
+#: The far corner node of the 8x8 mesh, dead from t=0.  Node 63 maps to
+#: rank 63 under the default seed-0 mapping and the E distribution never
+#: places a source there (at s=8 or s=16), so exactly one non-source
+#: rank is lost: max achievable delivery is 63/64.
+_NODE_FAIL = "node:63@0us"
+
 
 def robustness_faults(quick: bool = False) -> FigureResult:
     """Slowdown and delivery of each algorithm under injected faults."""
@@ -56,18 +71,28 @@ def robustness_faults(quick: bool = False) -> FigureResult:
     )
     slowdowns: Dict[str, List[float]] = {}
     deliveries: Dict[str, List[float]] = {}
-    conditions = ("baseline", "link-fail", "degrade")
-    specs = (None, _LINK_FAIL, _DEGRADE)
+    recoveries: Dict[str, bool] = {}
+    conditions = (
+        "baseline", "link-fail", "degrade", "node-fail", "node-fail+recover"
+    )
+    specs = (None, _LINK_FAIL, _DEGRADE, _NODE_FAIL, _NODE_FAIL)
+    recover_flags = (False, False, False, False, True)
     for algorithm in algorithms:
         base_ms = None
         slowdowns[algorithm] = []
         deliveries[algorithm] = []
-        for spec in specs:
-            run = run_broadcast(problem, algorithm, faults=spec)
+        for spec, recover in zip(specs, recover_flags):
+            run = run_broadcast(problem, algorithm, faults=spec,
+                                recover=recover)
             if base_ms is None:
                 base_ms = run.elapsed_ms
-            slowdowns[algorithm].append(run.elapsed_ms / base_ms)
+            # The recovery cell charges the total time to the recovered
+            # state: primary run plus the recovery protocol itself.
+            total_ms = run.elapsed_ms + run.recovery_time_us / 1000.0
+            slowdowns[algorithm].append(total_ms / base_ms)
             deliveries[algorithm].append(run.delivery)
+            if recover:
+                recoveries[algorithm] = bool(run.recovered)
     result.series.append(
         Series(
             "completion time relative to the healthy fabric",
@@ -117,8 +142,27 @@ def robustness_faults(quick: bool = False) -> FigureResult:
             ),
         )
     )
+    result.checks.append(
+        Check(
+            "recovery restores every surviving rank (delivery = 63/64)",
+            all(d[4] == 63.0 / 64.0 for d in deliveries.values()),
+            ", ".join(f"{a}: {d[4]:.4f}" for a, d in deliveries.items()),
+        )
+    )
+    result.checks.append(
+        Check(
+            "recovery reports completeness and never loses ground",
+            all(recoveries.values())
+            and all(d[4] >= d[3] for d in deliveries.values()),
+            ", ".join(
+                f"{a}: {d[3]:.4f} -> {d[4]:.4f}"
+                for a, d in deliveries.items()
+            ),
+        )
+    )
     result.notes.append(f"link-fail spec: {_LINK_FAIL}")
     result.notes.append(f"degrade spec:   {_DEGRADE}")
+    result.notes.append(f"node-fail spec: {_NODE_FAIL}")
     result.notes.append(
         "deterministic: same spec + seed reproduces every cell bit-exactly"
     )

@@ -20,6 +20,7 @@
 from __future__ import annotations
 
 from repro.core.problem import BroadcastProblem
+from repro.core.recovery import RecoveryOutcome, run_recovery
 from repro.core.runner import BroadcastResult, run_broadcast
 from repro.core.schedule import Round, Schedule, Transfer
 
@@ -30,4 +31,6 @@ __all__ = [
     "Schedule",
     "run_broadcast",
     "BroadcastResult",
+    "run_recovery",
+    "RecoveryOutcome",
 ]

@@ -32,6 +32,7 @@ from repro.errors import AlgorithmError
 
 __all__ = [
     "halving_pairs",
+    "folding_pairs",
     "halving_rounds",
     "GridView",
     "initial_holdings_map",
@@ -72,6 +73,30 @@ def halving_pairs(n: int) -> List[List[Pair]]:
         iterations.append(pairs)
         segments = next_segments
     return iterations
+
+
+def folding_pairs(n: int) -> List[List[Pair]]:
+    """The recursive-halving structure *reversed*: a combining fold.
+
+    Running :func:`halving_pairs` backwards turns the broadcast tree
+    into its mirror-image gather: each iteration one-way moves data
+    ``b -> a`` (encoded as ``(pos_b, pos_a, True)``), deepest segments
+    first, until position 0 has combined contributions from all ``n``
+    positions.  Exactly ``ceil(log2 n)`` iterations, like the forward
+    structure — this is the "recovery re-dissemination is just another
+    broadcast round" observation applied to the collection side: fold
+    to position 0, then broadcast back out with :func:`halving_pairs`.
+
+    By induction on the segment tree: after the fold's first iteration
+    (the last halving iteration) every depth-d segment's lower half
+    head holds its half's union, and each subsequent iteration merges
+    sibling halves one level up, so after all iterations position 0 —
+    the root segment's head — holds the union over ``[0, n)``.
+    """
+    return [
+        [(pos_b, pos_a, True) for pos_a, pos_b, _one_way in pairs]
+        for pairs in reversed(halving_pairs(n))
+    ]
 
 
 def initial_holdings_map(

@@ -1,0 +1,367 @@
+"""Post-fault recovery: complete a broadcast on the surviving machine.
+
+After a fault-injected primary run some ranks are missing messages —
+either because every route to them died mid-transfer or because they
+stalled waiting on a dead peer.  Recovery closes the gap with two
+simulated phases on the *surviving* topology (all injected faults
+active from t=0, since by now they have all landed):
+
+1. **Gossip** — within each connected component of live nodes, ranks
+   combine a table ``rank -> delivery bitmap`` (which source messages
+   each rank holds) using the paper's recursive-halving structure run
+   backwards (:func:`~repro.core.algorithms.common.folding_pairs`, a
+   combining fold to the component head) and forwards again
+   (:func:`~repro.core.algorithms.common.halving_pairs`, a broadcast
+   back out).  Träff's observation that recovery re-dissemination "is
+   just another broadcast round" is taken literally: the gossip *is*
+   the Br_Lin communication structure on the component's members.
+2. **Serve** — every rank derives the same deterministic serve plan
+   from its gossiped table (lowest-ranked holder re-serves each missing
+   message, transfers grouped per (holder, receiver) pair) and executes
+   its own entries in global plan order over a
+   :class:`~repro.mpsim.reliable.ReliableComm`, whose fault-detoured
+   routes, retransmissions and failure detection make the phase
+   deadlock-free: every transfer ends in bounded time with either an
+   ACK or a :class:`~repro.errors.PeerFailedError`.
+
+Ranks on dead nodes keep whatever they had combined before dying;
+components that lost every holder of some message simply cannot recover
+it — :func:`run_recovery` reports whether everything *achievable* was
+in fact achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.algorithms.common import folding_pairs, halving_pairs
+from repro.core.problem import BroadcastProblem
+from repro.errors import PeerFailedError, RecvTimeoutError
+from repro.faults.spec import FaultSchedule
+from repro.mpsim.comm import ANY_SOURCE, Comm
+from repro.mpsim.reliable import ReliableComm, transfer_budget
+from repro.simulator.trace import Tracer
+
+__all__ = ["RecoveryOutcome", "run_recovery"]
+
+#: User tag of the serve phase (gossip uses tags 0..rounds-1).
+SERVE_TAG = 1 << 20
+#: Wait multiplier on the one-transfer budget for receive timeouts:
+#: covers the peer's own sequential sends plus a full retry ladder.
+_RECV_SLACK = 64.0
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """What one recovery pass accomplished."""
+
+    #: Every achievable (rank, message) delivery was in fact achieved.
+    recovered: bool
+    #: Communication rounds of the recovery protocol (gossip + serve).
+    rounds: int
+    #: Virtual time the recovery pass took (its own clock, from 0).
+    time_us: float
+    #: Final per-rank message sets after recovery.
+    holdings: Tuple[FrozenSet[int], ...]
+
+
+def _shifted_to_zero(schedule: FaultSchedule) -> FaultSchedule:
+    """The schedule with every fault active from t=0.
+
+    Recovery starts after the primary run, when every scheduled fault
+    has already landed; the recovery pass therefore sees the machine's
+    *end state* for its whole duration.
+    """
+    return FaultSchedule(
+        tuple(replace(fault, at_us=0.0) for fault in schedule.faults)
+    )
+
+
+def _surviving_components(
+    injector: Any, mapping: Any
+) -> Tuple[List[List[int]], FrozenSet[int]]:
+    """``(components, dead_ranks)`` of the end-state machine, in ranks.
+
+    Components are sorted rank lists over live nodes, connected by
+    wire links alive in *both* directions (link faults kill pairs, so
+    this only excludes asymmetric topologies' one-way edges, which
+    cannot carry a request/ACK conversation anyway).
+    """
+    topology = injector.topology
+    now = 0.0
+    live = [
+        node
+        for node in range(topology.num_nodes)
+        if not injector.node_dead(node, now)
+    ]
+    dead_ranks = frozenset(
+        mapping.rank_of(node)
+        for node in range(topology.num_nodes)
+        if injector.node_dead(node, now)
+    )
+    seen: Dict[int, int] = {}
+    components: List[List[int]] = []
+    for start in live:
+        if start in seen:
+            continue
+        index = len(components)
+        members = [start]
+        seen[start] = index
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in topology.neighbors(u):
+                if v in seen or injector.node_dead(v, now):
+                    continue
+                if injector.link_dead(topology.wire_link(u, v), now):
+                    continue
+                if topology.has_wire_link(v, u) and injector.link_dead(
+                    topology.wire_link(v, u), now
+                ):
+                    continue
+                seen[v] = index
+                members.append(v)
+                frontier.append(v)
+        components.append(sorted(mapping.rank_of(node) for node in members))
+    return components, dead_ranks
+
+
+def _gossip_arrows(members: Sequence[int]) -> List[List[Tuple[int, int]]]:
+    """Per-round ``(src_rank, dst_rank)`` arrows of the gossip phase.
+
+    Fold every member's table into the component head (position 0),
+    then broadcast the combined table back out along the forward
+    halving structure — only arrows out of already-complete positions
+    are scheduled on the way back.
+    """
+    n = len(members)
+    if n <= 1:
+        return []
+    rounds: List[List[Tuple[int, int]]] = []
+    for pairs in folding_pairs(n):
+        rounds.append(
+            [(members[src], members[dst]) for src, dst, _one_way in pairs]
+        )
+    reached = {0}
+    for pairs in halving_pairs(n):
+        arrows: List[Tuple[int, int]] = []
+        for pos_a, pos_b, one_way in pairs:
+            if pos_a in reached and pos_b not in reached:
+                arrows.append((members[pos_a], members[pos_b]))
+                reached.add(pos_b)
+            elif not one_way and pos_b in reached and pos_a not in reached:
+                arrows.append((members[pos_b], members[pos_a]))
+                reached.add(pos_a)
+        rounds.append(arrows)
+    return rounds
+
+
+def _plan_serves(
+    table: Dict[int, FrozenSet[int]],
+    members: Sequence[int],
+    expected: FrozenSet[int],
+    problem: BroadcastProblem,
+) -> List[Tuple[int, int, FrozenSet[int], int]]:
+    """Deterministic serve plan ``(holder, receiver, msgset, nbytes)``.
+
+    A pure function of the gossiped table, so every member that saw the
+    same gossip derives the identical plan — the common knowledge that
+    makes the lock-step serve phase work without extra coordination.
+    """
+    holder_of: Dict[int, int] = {}
+    for rank in members:
+        for message in table.get(rank, frozenset()):
+            if message in expected and message not in holder_of:
+                holder_of[message] = rank
+            elif message in expected and rank < holder_of[message]:
+                holder_of[message] = rank
+    grouped: Dict[Tuple[int, int], List[int]] = {}
+    for rank in members:
+        missing = expected - table.get(rank, frozenset())
+        for message in sorted(missing):
+            holder = holder_of.get(message)
+            if holder is None or holder == rank:
+                continue
+            grouped.setdefault((holder, rank), []).append(message)
+    plan: List[Tuple[int, int, FrozenSet[int], int]] = []
+    for (holder, receiver) in sorted(grouped):
+        msgset = frozenset(grouped[(holder, receiver)])
+        plan.append((holder, receiver, msgset, problem.nbytes(msgset)))
+    return plan
+
+
+def _table_nbytes(entries: int, num_sources: int) -> int:
+    """Wire size of a gossip table: 4-byte rank id + delivery bitmap."""
+    return entries * (4 + (num_sources + 7) // 8)
+
+
+def _rank_program(
+    comm: Comm,
+    start: Sequence[FrozenSet[int]],
+    members_of: Dict[int, Sequence[int]],
+    gossip_of: Dict[int, Sequence[Sequence[Tuple[int, int]]]],
+    expected: FrozenSet[int],
+    problem: BroadcastProblem,
+) -> Generator[Any, Any, Tuple[FrozenSet[int], float]]:
+    """The SPMD recovery program for one rank.
+
+    Returns ``(final holdings, finish time)``.  The finish time is
+    reported per rank because the engine clock keeps ticking through
+    the stale timers left behind by won timeout races — the protocol is
+    over when the last *rank* finishes, not when the calendar drains.
+    """
+    rank = comm.rank
+    holdings = set(start[rank])
+    members = members_of.get(rank)
+    if members is None:
+        # Dead node (or isolated by construction): nothing to do.
+        return frozenset(holdings), comm.now
+    reliable = ReliableComm(comm)
+    table: Dict[int, FrozenSet[int]] = {rank: frozenset(holdings)}
+    num_sources = len(expected)
+    max_table = _table_nbytes(len(members), num_sources)
+    gossip_wait = _RECV_SLACK * transfer_budget(comm, max_table)
+    for round_idx, arrows in enumerate(gossip_of[rank]):
+        receives = 0
+        for src, dst in arrows:
+            if src == rank:
+                try:
+                    yield from reliable.send(
+                        dst,
+                        dict(table),
+                        _table_nbytes(len(table), num_sources),
+                        tag=round_idx,
+                    )
+                except PeerFailedError:
+                    continue
+            elif dst == rank:
+                receives += 1
+        for _ in range(receives):
+            try:
+                envelope = yield from reliable.recv(
+                    ANY_SOURCE, tag=round_idx, timeout_us=gossip_wait
+                )
+            except (PeerFailedError, RecvTimeoutError):
+                continue
+            for peer, held in envelope.payload.items():
+                table[peer] = table.get(peer, frozenset()) | held
+    # All members derive the same plan from the (normally identical)
+    # gossiped tables and walk it in global order: the earliest
+    # unfinished entry always has both endpoints at it, so the phase
+    # makes progress, and reliable timeouts bound every entry even when
+    # a table diverged.
+    plan = _plan_serves(table, members, expected, problem)
+    for holder, receiver, msgset, nbytes in plan:
+        if holder == rank:
+            try:
+                yield from reliable.send(receiver, msgset, nbytes, tag=SERVE_TAG)
+            except PeerFailedError:
+                continue
+        elif receiver == rank:
+            wait = _RECV_SLACK * transfer_budget(comm, nbytes)
+            try:
+                envelope = yield from reliable.recv(
+                    holder, tag=SERVE_TAG, timeout_us=wait
+                )
+            except (PeerFailedError, RecvTimeoutError):
+                continue
+            holdings.update(envelope.payload)
+    return frozenset(holdings), comm.now
+
+
+def run_recovery(
+    problem: BroadcastProblem,
+    start_holdings: Sequence[Optional[FrozenSet[int]]],
+    faults: FaultSchedule,
+    *,
+    seed: int = 0,
+    contention: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> RecoveryOutcome:
+    """Run the recovery protocol after a faulty primary run.
+
+    ``start_holdings`` is the per-rank delivery state the primary run
+    ended with (``None`` entries — ranks whose program never produced a
+    value — count as empty).  Returns the completed holdings together
+    with the achieved-vs-achievable verdict and the protocol's cost.
+    """
+    machine = problem.machine
+    expected = problem.source_set
+    start: List[FrozenSet[int]] = [
+        frozenset(held) if held is not None else frozenset()
+        for held in start_holdings
+    ]
+    end_state = _shifted_to_zero(faults)
+    injector = end_state.bind(machine.topology, seed)
+    mapping = machine.build_mapping(seed)
+    components, dead_ranks = _surviving_components(injector, mapping)
+    members_of: Dict[int, Sequence[int]] = {}
+    gossip_of: Dict[int, Sequence[Sequence[Tuple[int, int]]]] = {}
+    rounds = 0
+    for members in components:
+        arrows = _gossip_arrows(members)
+        rounds = max(rounds, len(arrows))
+        for rank in members:
+            members_of[rank] = members
+            gossip_of[rank] = arrows
+    # Achievable: each live rank can reach the union of its component's
+    # surviving holdings; dead ranks keep what they combined before dying.
+    achievable = 0
+    serves_needed = False
+    for members in components:
+        union = frozenset().union(*(start[rank] for rank in members))
+        reachable = union & expected
+        for rank in members:
+            achievable += len(reachable)
+            if not reachable <= start[rank]:
+                serves_needed = True
+    for rank in dead_ranks:
+        achievable += len(start[rank] & expected)
+    if serves_needed:
+        rounds += 1
+    else:
+        # Nothing is missing anywhere (or nothing is fixable): skip the
+        # simulation entirely — recovery is a free no-op.
+        achieved = sum(len(held & expected) for held in start)
+        return RecoveryOutcome(
+            recovered=achieved >= achievable,
+            rounds=0,
+            time_us=0.0,
+            holdings=tuple(start),
+        )
+    result = machine.run(
+        lambda comm: _rank_program(
+            comm, start, members_of, gossip_of, expected, problem
+        ),
+        seed=seed,
+        contention=contention,
+        tracer=tracer,
+        faults=end_state,
+        allow_partial=True,
+    )
+    final: List[FrozenSet[int]] = []
+    finish = 0.0
+    for rank, returned in enumerate(result.returns):
+        if returned is None:
+            final.append(start[rank])
+        else:
+            held, finished_at = returned
+            final.append(held)
+            finish = max(finish, finished_at)
+    achieved = sum(len(held & expected) for held in final)
+    return RecoveryOutcome(
+        recovered=achieved >= achievable,
+        rounds=rounds,
+        time_us=finish,
+        holdings=tuple(final),
+    )

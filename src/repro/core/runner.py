@@ -39,6 +39,14 @@ class BroadcastResult:
     #: clean run; < 1.0 when injected faults made delivery impossible
     #: for some ranks (the run is then reported, not raised).
     delivery: float = 1.0
+    #: Recovery verdict: ``None`` when no recovery pass ran (clean run,
+    #: or ``recover=False``); otherwise whether every delivery the
+    #: surviving machine could still achieve was in fact achieved.
+    recovered: Optional[bool] = None
+    #: Communication rounds of the recovery protocol (0 = nothing to do).
+    recovery_rounds: int = 0
+    #: Virtual time the recovery pass took, on top of ``elapsed_us``.
+    recovery_time_us: float = 0.0
 
     @property
     def elapsed_ms(self) -> float:
@@ -75,6 +83,13 @@ class BroadcastResult:
             # cached entry — is byte-identical to the pre-faults format.
             data["faults_active"] = list(self.faults_active)
             data["delivery"] = self.delivery
+        if self.recovered is not None:
+            # Same discipline one level up: only runs that actually took
+            # a recovery pass carry the recovery keys, so fault-injected
+            # results from before the recovery layer keep their JSON.
+            data["recovered"] = self.recovered
+            data["recovery_rounds"] = self.recovery_rounds
+            data["recovery_time_us"] = self.recovery_time_us
         problem = self.problem
         if problem is not None and problem.machine.spec is not None:
             data["problem"] = {
@@ -121,6 +136,9 @@ class BroadcastResult:
             link_utilization=float(data["link_utilization"]),
             faults_active=tuple(data.get("faults_active", ())),
             delivery=float(data.get("delivery", 1.0)),
+            recovered=data.get("recovered"),
+            recovery_rounds=int(data.get("recovery_rounds", 0)),
+            recovery_time_us=float(data.get("recovery_time_us", 0.0)),
         )
 
 
@@ -134,6 +152,7 @@ def run_broadcast(
     verify: bool = True,
     tracer: Optional[Tracer] = None,
     faults: Union[None, str, Iterable, FaultSchedule] = None,
+    recover: bool = False,
 ) -> BroadcastResult:
     """Run ``algorithm`` on ``problem`` and return timing plus metrics.
 
@@ -163,6 +182,15 @@ def run_broadcast(
         degraded mode: instead of raising on a fault-induced hang or a
         missing message, the result reports ``faults_active`` and the
         achieved ``delivery`` fraction.
+    recover:
+        Run the :mod:`~repro.core.recovery` protocol after a faulty
+        primary run: surviving ranks gossip delivery bitmaps over the
+        surviving topology and re-serve missing messages over reliable,
+        fault-detoured transport.  The result's ``delivery`` then
+        reflects the post-recovery state, and ``recovered`` /
+        ``recovery_rounds`` / ``recovery_time_us`` report the protocol's
+        verdict and cost.  Ignored without ``faults`` (nothing to
+        recover; the result stays byte-identical to a clean run).
     """
     from repro.core.algorithms import get_algorithm  # local: avoid cycle
 
@@ -183,11 +211,33 @@ def run_broadcast(
     )
     expected = problem.source_set
     delivery = 1.0
+    recovered: Optional[bool] = None
+    recovery_rounds = 0
+    recovery_time_us = 0.0
     if fault_schedule is not None:
+        holdings: Iterable[Optional[frozenset]] = [
+            frozenset(held) if held is not None else None
+            for held in executor.holdings
+        ]
+        if recover:
+            from repro.core.recovery import run_recovery  # local: avoid cycle
+
+            outcome = run_recovery(
+                problem,
+                list(holdings),
+                fault_schedule,
+                seed=seed,
+                contention=contention,
+                tracer=tracer,
+            )
+            holdings = outcome.holdings
+            recovered = outcome.recovered
+            recovery_rounds = outcome.rounds
+            recovery_time_us = outcome.time_us
         total = problem.p * len(expected)
         achieved = sum(
             len(expected & held) if held is not None else 0
-            for held in executor.holdings
+            for held in holdings
         )
         delivery = achieved / total if total else 1.0
     elif verify:
@@ -208,4 +258,7 @@ def run_broadcast(
         link_utilization=result.link_utilization,
         faults_active=result.faults_active,
         delivery=delivery,
+        recovered=recovered,
+        recovery_rounds=recovery_rounds,
+        recovery_time_us=recovery_time_us,
     )

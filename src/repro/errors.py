@@ -16,6 +16,7 @@ __all__ = [
     "CommError",
     "PeerFailedError",
     "SendTimeoutError",
+    "RecvTimeoutError",
     "MatchingError",
     "ConfigurationError",
     "DistributionError",
@@ -69,6 +70,16 @@ class SendTimeoutError(CommError):
     far beyond its budget (degraded links); algorithms opting into
     ``Comm.send(..., timeout_us=...)`` get this typed error instead of
     hanging, and may retry with backoff.
+    """
+
+
+class RecvTimeoutError(CommError):
+    """A blocking receive with ``timeout_us`` expired before a match.
+
+    The parked inbox request is withdrawn on expiry, so a message that
+    arrives later is buffered normally instead of being claimed by the
+    abandoned receive.  The reliable transport layer uses this to turn
+    a silently lost message into failure *detection*.
     """
 
 

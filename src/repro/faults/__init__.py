@@ -26,6 +26,7 @@ axis (see :attr:`repro.sweep.SweepPoint.faults`).
 
 from __future__ import annotations
 
+from repro.faults import chaos
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import (
     DegradeFault,
@@ -42,4 +43,5 @@ __all__ = [
     "NodeFault",
     "DegradeFault",
     "parse_fault",
+    "chaos",
 ]

@@ -1,0 +1,413 @@
+"""Chaos harness: seeded random fault schedules vs. stated invariants.
+
+Property-based robustness testing for the fault-injection and recovery
+layers: generate random :class:`~repro.faults.FaultSchedule`\\ s from a
+seed, sweep them across algorithm × distribution combinations, and
+assert the invariants the rest of the package promises:
+
+1. **No crash, no hang** — a fault-injected ``run_broadcast`` (which
+   runs with ``allow_partial``) returns a result; it never raises and
+   never deadlocks the host.
+2. **Sane accounting** — ``delivery`` lies in ``[0, 1]`` with and
+   without recovery.
+3. **Monotone recovery** — ``recover=True`` never delivers *less* than
+   the plain faulty run, and its ``recovered`` flag is reported.
+4. **Full recovery when physically possible** — with recovery enabled,
+   a schedule with no node faults whose surviving topology stays
+   connected reaches ``delivery == 1.0`` (every rank is alive and
+   reachable, so nothing is unrecoverable).
+5. **Achievability** — when recovery runs, ``recovered`` is ``True``
+   unless some message was lost with every holder (the protocol
+   completes everything the surviving machine can still do).
+6. **Determinism** — re-running a trial reproduces the result
+   bit-identically (checked on the first trial of every batch).
+
+A failing trial is *shrunk* before reporting: faults are removed one at
+a time (ddmin-style, to a fixpoint) while the violation persists, so
+the reported schedule is a minimal reproduction.  Every trial is
+addressable by ``(seed, index)`` — ``--trial K`` replays exactly one.
+
+CLI::
+
+    python -m repro chaos --trials 25 --seed 7
+    python -m repro chaos --trials 1 --seed 7 --trial 13   # replay
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.spec import (
+    DegradeFault,
+    Fault,
+    FaultSchedule,
+    LinkFault,
+    NodeFault,
+)
+
+__all__ = ["ChaosTrial", "Violation", "run_trial", "run_trials", "shrink", "main"]
+
+#: Default trial axes: mesh algorithms that cover the three schedule
+#: families (linear, grid two-phase, partitioned) and the distributions
+#: the paper leans on.
+DEFAULT_ALGORITHMS = ("Br_Lin", "Br_xy_source", "Br_xy_dim", "2-Step")
+DEFAULT_DISTRIBUTIONS = ("E", "Dr", "Sq")
+#: Degradations stay within the reliable transport's budget headroom.
+_MAX_DEGRADE_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with the (shrunk) schedule reproducing it."""
+
+    trial: int
+    invariant: str
+    detail: str
+    schedule: str
+    shrunk_schedule: str
+    algorithm: str
+    distribution: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trial": self.trial,
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "schedule": self.schedule,
+            "shrunk_schedule": self.shrunk_schedule,
+            "algorithm": self.algorithm,
+            "distribution": self.distribution,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosTrial:
+    """One generated trial: run parameters plus the fault schedule."""
+
+    index: int
+    machine: str
+    algorithm: str
+    distribution: str
+    s: int
+    message_size: int
+    schedule: FaultSchedule
+    seed: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"trial {self.index}: {self.algorithm} x {self.distribution} "
+            f"s={self.s} L={self.message_size} on {self.machine} "
+            f"faults='{self.schedule.canonical()}'"
+        )
+
+
+def _random_schedule(rng: random.Random, machine) -> FaultSchedule:
+    """Draw 1–4 random faults against ``machine``'s topology."""
+    topology = machine.topology
+    faults: List[Fault] = []
+    for _ in range(rng.randint(1, 4)):
+        at_us = float(rng.choice((0, 0, rng.randint(1, 300))))
+        kind = rng.random()
+        if kind < 0.55:
+            node = rng.randrange(topology.num_nodes)
+            neighbors = sorted(topology.neighbors(node))
+            faults.append(LinkFault(node, rng.choice(neighbors), at_us))
+        elif kind < 0.8:
+            faults.append(NodeFault(rng.randrange(topology.num_nodes), at_us))
+        else:
+            fraction = rng.choice((0.1, 0.25, 0.5))
+            factor = float(rng.choice((2, 4, _MAX_DEGRADE_FACTOR)))
+            faults.append(DegradeFault(fraction, factor, at_us))
+    return FaultSchedule(tuple(faults))
+
+
+def generate_trial(
+    base_seed: int,
+    index: int,
+    *,
+    machine_spec: str = "paragon:4x4",
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
+    message_size: int = 1024,
+) -> ChaosTrial:
+    """The deterministic trial at ``(base_seed, index)``.
+
+    String-seeded (hash-randomisation independent), so a trial is
+    replayable on any host from its seed and index alone.
+    """
+    from repro.machines import machine_from_spec  # local: avoid cycle
+
+    machine = machine_from_spec(machine_spec)
+    rng = random.Random(f"chaos#{base_seed}#{index}")
+    return ChaosTrial(
+        index=index,
+        machine=machine_spec,
+        algorithm=rng.choice(list(algorithms)),
+        distribution=rng.choice(list(distributions)),
+        s=rng.randint(2, max(2, min(8, machine.p // 2))),
+        message_size=message_size,
+        schedule=_random_schedule(rng, machine),
+        seed=base_seed,
+    )
+
+
+def _fingerprint(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _is_connected_no_node_faults(
+    schedule: FaultSchedule, machine, seed: int
+) -> bool:
+    """No node faults and the end-state topology is one component."""
+    from repro.core.recovery import (  # local: avoid cycle
+        _shifted_to_zero,
+        _surviving_components,
+    )
+
+    if any(isinstance(f, NodeFault) for f in schedule.faults):
+        return False
+    injector = _shifted_to_zero(schedule).bind(machine.topology, seed)
+    components, dead = _surviving_components(
+        injector, machine.build_mapping(seed)
+    )
+    return not dead and len(components) == 1
+
+
+def _check_invariants(
+    trial: ChaosTrial, schedule: FaultSchedule, *, determinism: bool = False
+) -> Optional[Tuple[str, str]]:
+    """Run ``trial`` with ``schedule``; return ``(invariant, detail)`` on
+    the first breach, ``None`` when all invariants hold."""
+    import repro  # local: avoid cycle
+    from repro.core import BroadcastProblem, run_broadcast
+    from repro.machines import machine_from_spec
+
+    machine = machine_from_spec(trial.machine)
+    try:
+        sources = repro.get_distribution(trial.distribution).generate(
+            machine, trial.s
+        )
+        problem = BroadcastProblem(machine, sources, trial.message_size)
+        plain = run_broadcast(
+            problem, trial.algorithm, seed=trial.seed, faults=schedule
+        )
+        recovering = run_broadcast(
+            problem,
+            trial.algorithm,
+            seed=trial.seed,
+            faults=schedule,
+            recover=True,
+        )
+    except Exception as exc:  # noqa: BLE001 - any escape is the violation
+        return ("no-crash", f"{type(exc).__name__}: {exc}")
+    for label, result in (("plain", plain), ("recover", recovering)):
+        if not 0.0 <= result.delivery <= 1.0:
+            return (
+                "delivery-range",
+                f"{label} delivery {result.delivery} outside [0, 1]",
+            )
+    if recovering.delivery < plain.delivery - 1e-12:
+        return (
+            "monotone-recovery",
+            f"recovery lowered delivery {plain.delivery:.6f} -> "
+            f"{recovering.delivery:.6f}",
+        )
+    if recovering.recovered is None:
+        return ("recovery-reported", "recover=True reported recovered=None")
+    if _is_connected_no_node_faults(schedule, machine, trial.seed):
+        if recovering.delivery < 1.0:
+            return (
+                "full-recovery",
+                "connected link/degrade-only schedule but delivery "
+                f"{recovering.delivery:.6f} < 1.0",
+            )
+        if not recovering.recovered:
+            return (
+                "full-recovery",
+                "connected link/degrade-only schedule but recovered=False",
+            )
+    if determinism:
+        replay = run_broadcast(
+            problem,
+            trial.algorithm,
+            seed=trial.seed,
+            faults=schedule,
+            recover=True,
+        )
+        if _fingerprint(replay) != _fingerprint(recovering):
+            return ("determinism", "re-run produced a different result")
+    return None
+
+
+def shrink(
+    trial: ChaosTrial, failure: Tuple[str, str]
+) -> Tuple[FaultSchedule, Tuple[str, str]]:
+    """Minimise ``trial.schedule`` while the same invariant still breaks.
+
+    Greedy single-fault removal to a fixpoint: drop any fault whose
+    removal preserves a violation of the *same* invariant.  Linear in
+    faults² runs — cheap, since generated schedules hold at most four.
+    """
+    schedule = trial.schedule
+    invariant = failure[0]
+    detail = failure[1]
+    changed = True
+    while changed and len(schedule.faults) > 1:
+        changed = False
+        for drop in range(len(schedule.faults)):
+            candidate = FaultSchedule(
+                schedule.faults[:drop] + schedule.faults[drop + 1 :]
+            )
+            result = _check_invariants(trial, candidate)
+            if result is not None and result[0] == invariant:
+                schedule = candidate
+                detail = result[1]
+                changed = True
+                break
+    return schedule, (invariant, detail)
+
+
+def run_trial(trial: ChaosTrial, *, determinism: bool = False) -> Optional[Violation]:
+    """Execute one trial; returns a (shrunk) violation or ``None``."""
+    failure = _check_invariants(trial, trial.schedule, determinism=determinism)
+    if failure is None:
+        return None
+    shrunk, (invariant, detail) = shrink(trial, failure)
+    return Violation(
+        trial=trial.index,
+        invariant=invariant,
+        detail=detail,
+        schedule=trial.schedule.canonical(),
+        shrunk_schedule=shrunk.canonical(),
+        algorithm=trial.algorithm,
+        distribution=trial.distribution,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of a chaos batch (JSON-serialisable for CI artifacts)."""
+
+    seed: int
+    trials: int
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "trials": self.trials,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def run_trials(
+    trials: int,
+    seed: int,
+    *,
+    machine_spec: str = "paragon:4x4",
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
+    message_size: int = 1024,
+    only: Optional[int] = None,
+    verbose: bool = True,
+) -> ChaosReport:
+    """Run a batch of seeded trials; collect (shrunk) violations."""
+    report = ChaosReport(seed=seed, trials=trials)
+    indices = [only] if only is not None else list(range(trials))
+    for index in indices:
+        trial = generate_trial(
+            seed,
+            index,
+            machine_spec=machine_spec,
+            algorithms=algorithms,
+            distributions=distributions,
+            message_size=message_size,
+        )
+        violation = run_trial(trial, determinism=(index == indices[0]))
+        if verbose:
+            status = "FAIL" if violation is not None else "ok"
+            print(f"  [{status:4s}] {trial.describe()}")
+        if violation is not None:
+            report.violations.append(violation)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Random fault schedules vs. the package's invariants.",
+    )
+    parser.add_argument("--trials", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--machine", default="paragon:4x4")
+    parser.add_argument(
+        "--algorithms",
+        default=",".join(DEFAULT_ALGORITHMS),
+        help="comma-separated algorithm pool",
+    )
+    parser.add_argument(
+        "--dists",
+        default=",".join(DEFAULT_DISTRIBUTIONS),
+        help="comma-separated distribution pool",
+    )
+    parser.add_argument("--L", type=int, default=1024, help="message bytes")
+    parser.add_argument(
+        "--trial",
+        type=int,
+        default=None,
+        metavar="K",
+        help="replay exactly one trial index from this seed",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a JSON report (shrunk schedules included) here",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"chaos: {args.trials} trial(s), seed {args.seed}, "
+        f"machine {args.machine}"
+    )
+    report = run_trials(
+        args.trials,
+        args.seed,
+        machine_spec=args.machine,
+        algorithms=tuple(a for a in args.algorithms.split(",") if a),
+        distributions=tuple(d for d in args.dists.split(",") if d),
+        message_size=args.L,
+        only=args.trial,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    if report.ok:
+        print(f"all invariants held over {report.trials} trial(s)")
+        return 0
+    for violation in report.violations:
+        print()
+        print(f"VIOLATION [{violation.invariant}] in trial {violation.trial}:")
+        print(f"  {violation.detail}")
+        print(f"  schedule: {violation.schedule}")
+        print(f"  shrunk:   {violation.shrunk_schedule}")
+        print(
+            "  replay:   python -m repro chaos --trials 1 "
+            f"--seed {report.seed} --trial {violation.trial}"
+        )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

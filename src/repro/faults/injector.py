@@ -75,6 +75,11 @@ class FaultInjector:
         # fully determines it).
         times = {t for t in self._dead_links.values()}
         times.update(self._dead_nodes.values())
+        # Kill epochs advance only on link/node deaths — the events that
+        # change reachability.  The route memo is keyed on these, so a
+        # degradation activating (which slows links but never reroutes)
+        # does not invalidate cached BFS detours.
+        self._kill_times: List[float] = sorted(times)
         for spans in self._degraded.values():
             times.update(t for t, _ in spans)
         self._times: List[float] = sorted(times)
@@ -169,6 +174,15 @@ class FaultInjector:
         """Index of the fault activation epoch containing time ``now``."""
         return bisect_right(self._times, now)
 
+    def kill_epoch(self, now: float) -> int:
+        """Index of the *reachability* epoch containing time ``now``.
+
+        Advances only when a link or node dies — degradations change
+        timing, never routes — so two requests in the same kill epoch
+        are guaranteed to see the identical survived-link set.
+        """
+        return bisect_right(self._kill_times, now)
+
     def node_dead(self, node: int, now: float) -> bool:
         """Whether ``node`` has failed by time ``now``."""
         at = self._dead_nodes.get(node)
@@ -212,7 +226,7 @@ class FaultInjector:
         if self._dead_links:
             blocked = any(self.link_dead(link, now) for link in path)
             if blocked:
-                key = (src, dst, self.epoch(now))
+                key = (src, dst, self.kill_epoch(now))
                 try:
                     detour = self._route_memo[key]
                 except KeyError:

@@ -190,6 +190,16 @@ class Machine:
             return order
         return list(range(self.p))
 
+    def build_mapping(self, seed: int = 0) -> RankMapping:
+        """The rank→node mapping a run with ``seed`` will use.
+
+        Host-side planners (the recovery layer, diagnostics) need the
+        same view of rank placement as the run itself; mapping factories
+        are deterministic in ``(topology, seed)``, so this reproduces it
+        exactly.
+        """
+        return self._mapping_factory(self.topology, seed)
+
     # -- execution ----------------------------------------------------------
     def run(
         self,

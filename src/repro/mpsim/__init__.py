@@ -28,6 +28,15 @@ from __future__ import annotations
 
 from repro.mpsim.comm import ANY_SOURCE, ANY_TAG, Comm, World
 from repro.mpsim.envelope import Envelope
+from repro.mpsim.reliable import ReliableComm
 from repro.mpsim.requests import Request
 
-__all__ = ["World", "Comm", "Envelope", "Request", "ANY_SOURCE", "ANY_TAG"]
+__all__ = [
+    "World",
+    "Comm",
+    "Envelope",
+    "ReliableComm",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

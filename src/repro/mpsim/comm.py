@@ -34,7 +34,12 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import CommError, PeerFailedError, SendTimeoutError
+from repro.errors import (
+    CommError,
+    PeerFailedError,
+    RecvTimeoutError,
+    SendTimeoutError,
+)
 from repro.metrics.counters import MetricsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -376,7 +381,8 @@ class Comm:
             )
         engine = self.world.engine
         budget = float(timeout_us)
-        for attempt in range(max_retries + 1):
+        attempts = max_retries + 1
+        for attempt in range(attempts):
             request = yield from self.isend(dest, payload, nbytes, tag)
             index, value = yield AnyOf(
                 engine, (request.event, engine.timeout(budget))
@@ -392,22 +398,36 @@ class Comm:
                     attempt=attempt,
                     budget_us=budget,
                 )
-            budget *= backoff_factor
+            # Grow the budget only when another attempt will actually be
+            # made: ``max_retries=0`` means exactly one attempt, and the
+            # error below reports the budget the final attempt really had.
+            if attempt + 1 < attempts:
+                budget *= backoff_factor
         raise SendTimeoutError(
             f"send from rank {self.group[self.rank]} to rank "
-            f"{self.translate(dest)} timed out after {max_retries + 1} "
-            f"attempt(s) (final budget {budget / backoff_factor:g}us) "
+            f"{self.translate(dest)} timed out after {attempts} "
+            f"attempt(s) (final budget {budget:g}us) "
             f"at t={engine.now:.3f}us"
         )
 
     def recv(
-        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        timeout_us: Optional[float] = None,
     ) -> Generator[Any, Any, Envelope]:
         """Blocking receive matching ``(source, tag)`` in group ranks.
 
         Blocks until a matching envelope arrives, then charges the
         receive overhead plus the per-byte copy cost, and returns the
         envelope (its ``source`` converted to a *group* rank).
+
+        With ``timeout_us`` the receive races a timer:
+        :class:`~repro.errors.RecvTimeoutError` is raised on expiry and
+        the parked inbox request is withdrawn, so a message arriving
+        later is buffered for future receives instead of being lost to
+        the abandoned one.
         """
         world = self.world
         engine = world.engine
@@ -424,7 +444,40 @@ class Comm:
                 return False
             return group_index is None or env.source in group_index
 
-        envelope: Envelope = yield world.inboxes[me_world].get(matches)
+        inbox = world.inboxes[me_world]
+        if timeout_us is None:
+            envelope: Envelope = yield inbox.get(matches)
+        else:
+            if timeout_us <= 0.0:
+                raise CommError(
+                    f"recv timeout must be positive, got {timeout_us}"
+                )
+            get_event = inbox.get(matches)
+            index, value = yield AnyOf(
+                engine, (get_event, engine.timeout(timeout_us))
+            )
+            if index != 0 and get_event.triggered:
+                # The timer and the matching envelope landed in the same
+                # instant and the timer processed first.  The item is
+                # already claimed by the getter — take it rather than
+                # losing a delivered message to the expired receive.
+                index, value = 0, get_event.value
+            if index != 0:
+                inbox.cancel(get_event)
+                if engine.tracer is not None:
+                    engine.trace(
+                        "recv_timeout",
+                        rank=me_world,
+                        src=src_world,
+                        tag=tag,
+                        budget_us=timeout_us,
+                    )
+                raise RecvTimeoutError(
+                    f"recv at rank {me_world} from "
+                    f"{'any source' if source == ANY_SOURCE else f'rank {src_world}'} "
+                    f"timed out after {timeout_us:g}us at t={engine.now:.3f}us"
+                )
+            envelope = value
         wait_time = engine.now - posted
         copy_time = params.copy_cost(envelope.nbytes, collective=self.collective)
         overhead = self._mode_costs()[1]

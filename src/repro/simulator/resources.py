@@ -71,6 +71,21 @@ class Store:
         self._getters.append((event, predicate))
         return event
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a parked :meth:`get` request.
+
+        Needed by timed receives: when the timeout wins the race, the
+        abandoned getter must be removed, or the next matching ``put``
+        would wake it and the item would vanish unread.  Returns whether
+        the request was actually parked (an already-served or unknown
+        event is a no-op).
+        """
+        for idx, (parked, _predicate) in enumerate(self._getters):
+            if parked is event:
+                del self._getters[idx]
+                return True
+        return False
+
     def peek_all(self) -> Tuple[Any, ...]:
         """Snapshot of buffered items (for diagnostics and tests)."""
         return tuple(self._items)

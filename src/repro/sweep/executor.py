@@ -91,6 +91,7 @@ def evaluate_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
         seed=point.seed,
         contention=point.contention,
         faults=point.faults,
+        recover=point.recover,
     )
     return result.to_dict(), time.perf_counter() - start
 

@@ -57,6 +57,10 @@ class SweepPoint:
     sizes: Optional[Tuple[Tuple[int, int], ...]] = None
     distribution: Optional[str] = None
     faults: Optional[str] = None
+    #: Run the recovery protocol after a faulty primary run.  ``False``
+    #: (the default) keeps the payload — and the cache key — identical
+    #: to the pre-recovery format.
+    recover: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(int(r) for r in self.sources))
@@ -81,6 +85,7 @@ class SweepPoint:
         contention: bool = True,
         distribution: Optional[str] = None,
         faults: Optional[str] = None,
+        recover: bool = False,
     ) -> "SweepPoint":
         """Describe ``run_broadcast(problem, algorithm, ...)`` as a point.
 
@@ -110,6 +115,7 @@ class SweepPoint:
             sizes=sizes,
             distribution=distribution,
             faults=faults,
+            recover=recover,
         )
 
     # -- identity ----------------------------------------------------------
@@ -137,6 +143,10 @@ class SweepPoint:
         }
         if self.faults is not None:
             data["faults"] = self.faults
+        if self.recover:
+            # Same discipline as ``faults``: only recovery-enabled points
+            # carry the key, so existing cache entries stay addressable.
+            data["recover"] = True
         return data
 
     def key(self) -> str:
@@ -158,6 +168,7 @@ class SweepPoint:
             sizes=tuple((r, v) for r, v in sizes) if sizes else None,
             distribution=payload.get("distribution"),
             faults=payload.get("faults"),
+            recover=payload.get("recover", False),
         )
 
     # -- evaluation support ------------------------------------------------
@@ -191,6 +202,8 @@ class SweepSpec:
     #: Fault-injection axis: each entry is a spec string (canonicalised
     #: at point construction) or ``None`` for the fault-free baseline.
     faults: Tuple[Optional[str], ...] = (None,)
+    #: Run the recovery protocol on every fault-injected point.
+    recover: bool = False
 
     def __post_init__(self) -> None:
         for name in ("machines", "distributions", "s_values", "message_sizes",
@@ -198,6 +211,11 @@ class SweepSpec:
             object.__setattr__(self, name, tuple(getattr(self, name)))
             if not getattr(self, name):
                 raise ConfigurationError(f"SweepSpec.{name} must be non-empty")
+        if self.recover and all(f is None for f in self.faults):
+            raise ConfigurationError(
+                "SweepSpec.recover needs at least one fault-injected entry "
+                "on the faults axis (a clean run has nothing to recover)"
+            )
 
     @property
     def num_points(self) -> int:
@@ -237,6 +255,10 @@ class SweepSpec:
                                             contention=self.contention,
                                             distribution=dist_key,
                                             faults=fault_spec,
+                                            recover=(
+                                                self.recover
+                                                and fault_spec is not None
+                                            ),
                                         )
                                     )
         return out

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.algorithms.common import (
     GridView,
+    folding_pairs,
     halving_pairs,
     halving_rounds,
     initial_holdings_map,
@@ -77,6 +78,38 @@ class TestHalvingPairs:
                         sets[a] |= snap[b]
             full = set(range(n))
             assert all(s == full for s in sets.values()), n
+
+
+class TestFoldingPairs:
+    def test_mirrors_halving_depth(self):
+        for n in (2, 5, 8, 10, 16):
+            assert len(folding_pairs(n)) == len(halving_pairs(n))
+
+    def test_arrows_are_reversed_halving_arrows(self):
+        folds = folding_pairs(8)
+        halves = halving_pairs(8)
+        for fold, pairs in zip(folds, reversed(halves)):
+            assert fold == [(b, a, True) for a, b, _ in pairs]
+
+    def test_fold_combines_everything_into_position_zero(self):
+        """The dual of broadcast completeness: all contributions reach 0."""
+        for n in (2, 3, 5, 8, 11, 13, 16):
+            sets = {i: {i} for i in range(n)}
+            for pairs in folding_pairs(n):
+                snap = {i: set(s) for i, s in sets.items()}
+                for src, dst, one_way in pairs:
+                    assert one_way  # folds only ever push downward
+                    sets[dst] |= snap[src]
+            assert sets[0] == set(range(n)), n
+
+    def test_rounds_have_disjoint_senders_and_receivers(self):
+        # A position never sends and receives in the same fold round,
+        # so a lock-step send/recv program cannot deadlock.
+        for n in (3, 5, 8, 13):
+            for pairs in folding_pairs(n):
+                senders = {src for src, _, _ in pairs}
+                receivers = {dst for _, dst, _ in pairs}
+                assert not senders & receivers, n
 
 
 class TestHalvingRounds:

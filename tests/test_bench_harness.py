@@ -30,6 +30,37 @@ class TestSeries:
         with pytest.raises(KeyError):
             series.value("b", 1)
 
+    def test_long_labels_widen_every_column(self):
+        # Golden-free formatting check: a curve name longer than the
+        # default width (robustness grows a 17-char condition label)
+        # must widen ALL columns instead of fusing into its neighbours.
+        series = Series(
+            "robustness",
+            "condition",
+            ["baseline", "node-fail+recover"],
+            {"Br_xy_source": [1.0, 5.123], "Br_Lin": [1.0, 4.618]},
+        )
+        lines = series.to_table().splitlines()
+        header, rows = lines[2], lines[3:]
+        # Every rendered line is the same length (columns share a width).
+        assert len({len(line) for line in [header, *rows]}) == 1
+        # Columns are wide enough for the longest label plus separation,
+        # so adjacent fields never touch.
+        width = max(len("node-fail+recover"), len("Br_xy_source")) + 2
+        assert header == (
+            f"{'condition':>{width}}{'Br_xy_source':>{width}}{'Br_Lin':>{width}}"
+        )
+        for line in [header, *rows]:
+            assert "  " in line.strip()  # visible gap between columns
+        # Cell values line up under their curve names (right-aligned).
+        assert rows[1].endswith("4.618")
+        assert rows[1].strip().startswith("node-fail+recover")
+
+    def test_short_labels_keep_the_default_width(self):
+        series = Series("t", "x", [1, 2], {"a": [1.5, 2.5]})
+        lines = series.to_table().splitlines()
+        assert all(len(line) == 24 for line in lines[2:])  # 2 cols x 12
+
 
 class TestCheckAndFigure:
     def test_check_str_pass_fail(self):

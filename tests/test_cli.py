@@ -80,6 +80,28 @@ class TestReproCLI:
         assert "faults:" in out and "node 15 dead" in out
         assert "delivery:" in out and "PARTIAL" in out
 
+    def test_recover_flag_reports_recovery(self, capsys):
+        code = repro_main(
+            [
+                "--machine", "paragon:4x4", "--algorithm", "Br_xy_source",
+                "--s", "4", "--faults", "node:15", "--recover",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery:" in out and "round(s)" in out
+
+    def test_recover_without_faults_is_silent(self, capsys):
+        code = repro_main(
+            [
+                "--machine", "paragon:4x4", "--algorithm", "Br_Lin",
+                "--s", "4", "--recover",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery:" not in out
+
     def test_faults_flag_complete_delivery(self, capsys):
         code = repro_main(
             [

@@ -233,6 +233,42 @@ class TestDetourRouting:
         assert injector.epoch(200.0) == 2
 
 
+class TestKillEpochRouteMemo:
+    SPEC = "link:5-6@0us;degrade:links=1,factor=2@50us;node:9@100us"
+
+    def test_kill_epoch_ignores_degradations(self, topo):
+        injector = FaultSchedule.parse(self.SPEC).bind(topo)
+        # epoch() counts every activation; kill_epoch() only the two
+        # reachability-changing ones (the link at 0, the node at 100).
+        assert injector.epoch(50.0) == 2
+        assert injector.kill_epoch(0.0) == 1
+        assert injector.kill_epoch(50.0) == 1
+        assert injector.kill_epoch(99.9) == 1
+        assert injector.kill_epoch(100.0) == 2
+
+    def test_same_epoch_reuses_the_route_object(self, topo):
+        injector = FaultSchedule.parse(self.SPEC).bind(topo)
+        first, _ = injector.plan(5, 7, now=0.0)
+        again, _ = injector.plan(5, 7, now=10.0)
+        assert again is first  # memo hit, not a recomputed equal tuple
+
+    def test_degrade_activation_does_not_invalidate_routes(self, topo):
+        injector = FaultSchedule.parse(self.SPEC).bind(topo)
+        before, factor_before = injector.plan(5, 7, now=10.0)
+        after, factor_after = injector.plan(5, 7, now=60.0)
+        assert after is before  # same kill epoch across the degrade onset
+        assert factor_before == 1.0
+        assert factor_after == 2.0  # ...but the degradation still applies
+
+    def test_new_kill_epoch_recomputes(self, topo):
+        injector = FaultSchedule.parse(self.SPEC).bind(topo)
+        before, _ = injector.plan(5, 7, now=10.0)
+        after, _ = injector.plan(5, 7, now=100.0)
+        assert after is not before  # node 9 died: detours must re-plan
+        for neighbor in topo.neighbors(9):
+            assert topo.wire_link(9, neighbor) not in after
+
+
 # ---------------------------------------------------------------------------
 # Run-level integration
 # ---------------------------------------------------------------------------
@@ -341,6 +377,42 @@ class TestCommFaultSemantics:
         assert result.deadlock is not None
         assert "link 5<->6 dead" in result.deadlock  # faults named
 
+    @pytest.mark.parametrize(
+        "max_retries,budgets",
+        [
+            (0, [50.0]),          # boundary: exactly ONE attempt, no retry
+            (1, [50.0, 100.0]),   # one retry, backoff doubles the budget
+        ],
+    )
+    def test_send_attempt_count_boundaries(self, max_retries, budgets):
+        from repro.simulator.trace import Tracer
+
+        machine = paragon(4, 4)
+        schedule = FaultSchedule.parse("link:5-1;link:5-4;link:5-6;link:5-9")
+        tracer = Tracer(kinds=("send_timeout",))
+        seen = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                try:
+                    yield from comm.send(
+                        5, "x", 64, timeout_us=50.0, max_retries=max_retries
+                    )
+                except SendTimeoutError as exc:
+                    seen["error"] = str(exc)
+            return None
+            yield  # pragma: no cover
+
+        machine.run(
+            program, faults=schedule, allow_partial=True, tracer=tracer
+        )
+        timeouts = tracer.of_kind("send_timeout")
+        assert [t.fields["budget_us"] for t in timeouts] == budgets
+        assert f"{max_retries + 1} attempt(s)" in seen["error"]
+        # The reported final budget is the one the last attempt really
+        # had — not grown once more after the last retry.
+        assert f"final budget {budgets[-1]:g}us" in seen["error"]
+
     def test_partial_run_reports_deadlock_not_crash(self):
         machine = paragon(4, 4)
         schedule = FaultSchedule.parse("node:5")
@@ -354,3 +426,32 @@ class TestCommFaultSemantics:
         assert result.deadlock is not None
         assert result.returns[5] is None
         assert result.returns[0] == 0
+
+    def test_partitioned_mesh_names_every_fault_and_leaves_no_residue(self):
+        # Kill every wire between the top and bottom halves of the 4x4
+        # mesh: cross-partition messages are lost, their receivers hang,
+        # and the deadlock diagnostic must name ALL four injected faults.
+        machine = paragon(4, 4)
+        cuts = ("link:4-8", "link:5-9", "link:6-10", "link:7-11")
+        schedule = FaultSchedule.parse(";".join(cuts))
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.isend(15, "x", 64)
+            elif comm.rank == 15:
+                yield from comm.recv(source=0)
+            return comm.rank
+
+        result = machine.run(program, faults=schedule, allow_partial=True)
+        assert result.deadlock is not None
+        for a, b in ((4, 8), (5, 9), (6, 10), (7, 11)):
+            assert f"link {a}<->{b} dead" in result.deadlock
+        assert result.returns[15] is None
+        assert result.returns[0] == 0  # sender completed (worm was lost)
+
+        # No Process from the wedged run may leak into the next one: a
+        # clean run on the same Machine must complete fully and carry no
+        # deadlock diagnostic.
+        clean = machine.run(program)
+        assert clean.deadlock is None
+        assert list(clean.returns) == list(range(16))

@@ -80,3 +80,76 @@ def test_parallel_warm_cache_matches_serial(points, serial_results, tmp_path):
 def test_repeated_serial_runs_are_stable(points, serial_results):
     again = [fingerprint(r) for r in SweepExecutor(jobs=1).run(points)]
     assert again == serial_results
+
+
+# ---------------------------------------------------------------------------
+# Recovery differential: every Br_* algorithm, connected link kills
+# ---------------------------------------------------------------------------
+#: Three wire cuts that leave the 8x8 mesh connected: recovery-enabled
+#: runs must reach full delivery, and must do so bit-identically on
+#: every evaluation path.
+CONNECTED_KILLS = "link:(3,3)-(3,4)@0us;link:(0,0)-(0,1)@100us;link:(7,6)-(7,7)"
+
+RECOVER_GRID = SweepSpec(
+    machines=("paragon:8x8",),
+    distributions=("E",),
+    s_values=(4,),
+    message_sizes=(256,),
+    algorithms=("Br_Lin", "Br_Ring", "Br_xy_dim", "Br_xy_source"),
+    seeds=(0,),
+    faults=(CONNECTED_KILLS,),
+    recover=True,
+)
+
+
+@pytest.fixture(scope="module")
+def recover_points():
+    pts = RECOVER_GRID.points()
+    assert all(p.recover for p in pts)
+    return pts
+
+
+@pytest.fixture(scope="module")
+def recover_serial(recover_points):
+    return [fingerprint(r) for r in SweepExecutor(jobs=1).run(recover_points)]
+
+
+def test_recovery_reaches_full_delivery(recover_serial):
+    for blob in recover_serial:
+        data = json.loads(blob)
+        assert data.get("delivery", 1.0) == 1.0
+        assert data["recovered"] is True
+
+
+def test_recovery_parallel_matches_serial(recover_points, recover_serial):
+    parallel = [
+        fingerprint(r) for r in SweepExecutor(jobs=4).run(recover_points)
+    ]
+    assert parallel == recover_serial
+
+
+def test_recovery_warm_cache_matches_serial(
+    recover_points, recover_serial, tmp_path
+):
+    cache = ResultCache(tmp_path / "cache")
+    executor = SweepExecutor(jobs=1, cache=cache)
+    cold = [fingerprint(r) for r in executor.run(recover_points)]
+    assert cold == recover_serial
+    warm = [fingerprint(r) for r in executor.run(recover_points)]
+    assert warm == recover_serial
+    assert executor.last_report.cached == len(recover_points)
+
+
+def test_recover_points_hash_apart_from_plain_fault_points(recover_points):
+    plain = SweepSpec(
+        machines=("paragon:8x8",),
+        distributions=("E",),
+        s_values=(4,),
+        message_sizes=(256,),
+        algorithms=("Br_Lin", "Br_Ring", "Br_xy_dim", "Br_xy_source"),
+        seeds=(0,),
+        faults=(CONNECTED_KILLS,),
+    ).points()
+    assert {p.key() for p in plain}.isdisjoint(
+        {p.key() for p in recover_points}
+    )

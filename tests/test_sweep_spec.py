@@ -139,6 +139,35 @@ class TestSweepPointFaults:
         assert clone == point
 
 
+class TestSweepPointRecover:
+    BASE = dict(
+        machine="paragon:4x4",
+        sources=(0, 5),
+        message_size=256,
+        algorithm="Br_Lin",
+    )
+
+    def test_default_payload_has_no_recover_key(self):
+        # Back-compat: non-recovering points keep the pre-recovery
+        # payload format, so existing cache entries stay addressable.
+        assert "recover" not in SweepPoint(**self.BASE).payload()
+        assert "recover" not in SweepPoint(
+            **self.BASE, faults="link:1-2"
+        ).payload()
+
+    def test_recover_changes_the_cache_key(self):
+        plain = SweepPoint(**self.BASE, faults="link:1-2")
+        recovering = SweepPoint(**self.BASE, faults="link:1-2", recover=True)
+        assert recovering.payload()["recover"] is True
+        assert plain.key() != recovering.key()
+
+    def test_recover_round_trips_through_payload(self):
+        point = SweepPoint(**self.BASE, faults="link:1-2", recover=True)
+        clone = SweepPoint.from_payload(json.loads(json.dumps(point.payload())))
+        assert clone == point
+        assert clone.recover is True
+
+
 class TestSweepSpec:
     def test_expansion_size_and_order(self):
         spec = SweepSpec(
@@ -189,6 +218,30 @@ class TestSweepSpec:
             algorithms=("Br_Lin",),
         )
         assert all(pt.faults is None for pt in spec.points())
+
+    def test_recover_applies_only_to_fault_injected_points(self):
+        spec = SweepSpec(
+            machines=("paragon:4x4",),
+            distributions=("E",),
+            s_values=(2,),
+            message_sizes=(128,),
+            algorithms=("Br_Lin",),
+            faults=(None, "link:1-2"),
+            recover=True,
+        )
+        by_faults = {pt.faults: pt.recover for pt in spec.points()}
+        assert by_faults == {None: False, "link:1-2@0us": True}
+
+    def test_recover_without_faults_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                machines=("paragon:4x4",),
+                distributions=("E",),
+                s_values=(2,),
+                message_sizes=(128,),
+                algorithms=("Br_Lin",),
+                recover=True,
+            )
 
 
 class TestBroadcastResultSerialization:
