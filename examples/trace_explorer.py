@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Why is an algorithm slow?  Ask its spans and its links.
+
+Runs ``Br_xy_dim`` on a 12x10 Paragon — a machine where its
+rows-first-iff-r>=c heuristic can pick the wrong dimension — traces the
+run with full observability, and walks the diagnosis:
+
+1. the per-phase span roll-up says *when* the time went (rows vs cols),
+2. the link heatmap says *where* it went (which wires saturated),
+3. the Chrome trace JSON (written beside this script's output when
+   ``--json`` is given) lets you zoom into any single rank in
+   chrome://tracing or https://ui.perfetto.dev.
+
+Run:  python examples/trace_explorer.py [--json out.trace.json]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.distributions import DISTRIBUTIONS
+from repro.obs import (
+    link_usage,
+    render_link_heatmap,
+    render_rollup,
+    summarize_trace,
+    write_chrome_trace,
+)
+from repro.simulator.trace import Tracer
+
+
+def explore(problem: "repro.BroadcastProblem", algorithm: str) -> Tracer:
+    tracer = Tracer()
+    result = repro.run_broadcast(problem, algorithm, tracer=tracer)
+    machine = problem.machine
+    print(f"--- {algorithm}: {result.elapsed_ms:.2f} ms ---")
+    summary = summarize_trace(tracer, topology=machine.topology)
+    print(render_rollup(summary))
+    print()
+    usage = link_usage(tracer, topology=machine.topology)
+    print(render_link_heatmap(usage, topology=machine.topology, k=6))
+    print()
+    return tracer
+
+
+def main(argv: list | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    json_path = None
+    if len(argv) >= 2 and argv[0] == "--json":
+        json_path = argv[1]
+
+    machine = repro.paragon(12, 10)
+    sources = DISTRIBUTIONS["R"].generate(machine, 12)
+    problem = repro.BroadcastProblem(machine, sources, message_size=4096)
+    print(
+        f"problem: s = {problem.s} sources (row distribution), L = 4K, "
+        f"{machine.params.name} 12x10\n"
+    )
+    for algorithm in ("Br_xy_dim", "Br_xy_source"):
+        tracer = explore(problem, algorithm)
+        if json_path and algorithm == "Br_xy_dim":
+            write_chrome_trace(
+                json_path, tracer, topology=machine.topology,
+                label="Br_xy_dim paragon:12x10 R s=12",
+            )
+            print(f"wrote {json_path} (open in chrome://tracing)\n")
+    print(
+        "reading the roll-ups: on 12x10 with a row distribution,\n"
+        "Br_xy_dim goes rows-first (r >= c) even though every source sits\n"
+        "in a single row — its first phase spreads copies along that one\n"
+        "row while 11 rows idle, and the cols phase then carries the\n"
+        "whole payload.  Br_xy_source inspects the distribution, goes\n"
+        "cols-first, and the same phase table shows the work split the\n"
+        "other way — the Figure-6 effect, read straight off the spans."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,10 @@ def main(argv: List[str] | None = None) -> int:
         from repro.faults.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one s-to-p broadcast on a simulated MPP.",
@@ -85,6 +89,12 @@ def main(argv: List[str] | None = None) -> int:
         "--timeline", action="store_true", help="render the activity timeline"
     )
     parser.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="PATH",
+        help="capture a full trace and write Chrome trace-event JSON here",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -116,7 +126,12 @@ def main(argv: List[str] | None = None) -> int:
             print(f"algorithm: {algorithm}")
         if args.show_sources:
             print(render_placement(machine, sources, title="sources"))
-        tracer = Tracer(kinds=("send", "recv")) if args.timeline else None
+        if args.trace_json is not None:
+            tracer = Tracer()  # full capture: spans + kernel + fabric
+        elif args.timeline:
+            tracer = Tracer(kinds=("send", "recv"))
+        else:
+            tracer = None
         if tracer is None and machine.spec is not None and isinstance(algorithm, str):
             cache = (
                 ResultCache(args.cache_dir)
@@ -173,9 +188,26 @@ def main(argv: List[str] | None = None) -> int:
         f"av_msg_lgth={metrics.av_msg_lgth:.0f} "
         f"av_act_proc={metrics.av_act_proc:.1f}"
     )
-    if tracer is not None:
+    if tracer is not None and args.timeline:
         print()
         print(render_timeline(tracer, p=machine.p))
+    if tracer is not None and args.trace_json is not None:
+        from repro.obs.chrome import write_chrome_trace
+
+        trace = write_chrome_trace(
+            args.trace_json,
+            tracer,
+            topology=machine.topology,
+            label=(
+                f"{args.machine} {args.dist} s={args.s} L={args.L} "
+                f"{result.algorithm} seed={args.seed}"
+            ),
+        )
+        print(
+            f"trace:      {args.trace_json} "
+            f"({len(trace['traceEvents'])} events, "
+            f"schema {trace['otherData']['schema']})"
+        )
     return 0
 
 

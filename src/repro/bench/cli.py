@@ -36,13 +36,16 @@ __all__ = ["main", "available_experiments", "build_executor"]
 
 
 def build_executor(
-    jobs: Optional[int], cache_dir: Optional[str], no_cache: bool
+    jobs: Optional[int],
+    cache_dir: Optional[str],
+    no_cache: bool,
+    observe: bool = False,
 ) -> SweepExecutor:
     """Executor for the CLI flags (``--no-cache`` wins over ``--cache-dir``)."""
     cache = None
     if not no_cache and cache_dir:
         cache = ResultCache(cache_dir)
-    return SweepExecutor(jobs=jobs, cache=cache)
+    return SweepExecutor(jobs=jobs, cache=cache, observe=observe)
 
 
 def available_experiments() -> Dict[str, Callable[[bool], FigureResult]]:
@@ -108,6 +111,15 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="bypass the sweep result cache (no reads, no writes)",
     )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help=(
+            "trace every computed point and print a per-experiment "
+            "roll-up (slowest phase per algorithm x distribution, "
+            "hottest links); cache keys are unaffected"
+        ),
+    )
     args = parser.parse_args(argv)
 
     table = available_experiments()
@@ -125,18 +137,32 @@ def main(argv: List[str] | None = None) -> int:
         print(f"known: {', '.join(table)}", file=sys.stderr)
         return 2
 
-    executor = build_executor(args.jobs, args.cache_dir, args.no_cache)
+    executor = build_executor(
+        args.jobs, args.cache_dir, args.no_cache, observe=args.observe
+    )
     failed: List[str] = []
     with use_executor(executor):
         for name in names:
             start = time.time()
             before = dataclasses.replace(executor.session)
+            obs_before = len(executor.session_observations)
             result = table[name](args.quick)
             elapsed = time.time() - start
             print(result.report())
             progress = executor.session.since(before)
             if progress.total:
                 print(progress.summary())
+            if args.observe:
+                from repro.obs.summary import (
+                    aggregate_observations,
+                    render_sweep_rollup,
+                )
+
+                aggregate = aggregate_observations(
+                    executor.session_observations[obs_before:]
+                )
+                if aggregate["observed"]:
+                    print(render_sweep_rollup(aggregate))
             print(f"(ran in {elapsed:.1f}s)\n")
             if not result.all_passed:
                 failed.append(name)

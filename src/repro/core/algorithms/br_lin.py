@@ -34,6 +34,7 @@ class BrLin(BroadcastAlgorithm):
         order = problem.machine.linear_order()
         holdings = initial_holdings_map(problem, order)
         schedule = Schedule(problem, algorithm=self.name)
-        for idx, transfers in enumerate(halving_rounds(order, holdings)):
-            schedule.add_round(transfers, label=f"halving-{idx}")
+        with schedule.span("halving"):
+            for idx, transfers in enumerate(halving_rounds(order, holdings)):
+                schedule.add_round(transfers, label=f"halving-{idx}")
         return schedule

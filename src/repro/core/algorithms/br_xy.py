@@ -92,10 +92,12 @@ def build_xy_schedule(
         else (view.col_lines(), view.row_lines())
     )
     first_tag, second_tag = ("rows", "cols") if rows_first else ("cols", "rows")
-    for idx, transfers in enumerate(xy_phase_rounds(first, holdings)):
-        schedule.add_round(transfers, label=f"{first_tag}-{idx}")
-    for idx, transfers in enumerate(xy_phase_rounds(second, holdings)):
-        schedule.add_round(transfers, label=f"{second_tag}-{idx}")
+    with schedule.span(first_tag):
+        for idx, transfers in enumerate(xy_phase_rounds(first, holdings)):
+            schedule.add_round(transfers, label=f"{first_tag}-{idx}")
+    with schedule.span(second_tag):
+        for idx, transfers in enumerate(xy_phase_rounds(second, holdings)):
+            schedule.add_round(transfers, label=f"{second_tag}-{idx}")
     return schedule
 
 

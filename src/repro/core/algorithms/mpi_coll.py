@@ -51,7 +51,8 @@ def build_pipelined_allgather_schedule(
         for src in problem.sources
         if src != root
     ]
-    schedule.add_round(gather, label="gatherv", collective=True, mpi=True)
+    with schedule.span("gather"):
+        schedule.add_round(gather, label="gatherv", collective=True, mpi=True)
     # The stream of (message, segment) items the ring carries, in source
     # order (the order Allgatherv concatenates contributions).
     stream: List[tuple] = []
@@ -69,18 +70,19 @@ def build_pipelined_allgather_schedule(
     edges = list(zip(ring, ring[1:]))  # p-1 forwarding hops, no wrap
     num_items = len(stream)
     num_rounds = num_items + len(edges) - 1
-    for r in range(num_rounds):
-        transfers = []
-        for j, (u, v) in enumerate(edges):
-            q = r - j
-            if 0 <= q < num_items:
-                src_msg, seg_bytes = stream[q]
-                transfers.append(
-                    Transfer(u, v, frozenset((src_msg,)), nbytes_override=seg_bytes)
-                )
-        schedule.add_round(
-            transfers, label=f"ring-{r}", collective=True, mpi=True
-        )
+    with schedule.span("ring"):
+        for r in range(num_rounds):
+            transfers = []
+            for j, (u, v) in enumerate(edges):
+                q = r - j
+                if 0 <= q < num_items:
+                    src_msg, seg_bytes = stream[q]
+                    transfers.append(
+                        Transfer(u, v, frozenset((src_msg,)), nbytes_override=seg_bytes)
+                    )
+            schedule.add_round(
+                transfers, label=f"ring-{r}", collective=True, mpi=True
+            )
     return schedule
 
 

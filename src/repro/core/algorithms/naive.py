@@ -36,18 +36,19 @@ class NaiveIndependent(BroadcastAlgorithm):
         schedule = Schedule(problem, algorithm=self.name)
         p = problem.p
         stages = max(p - 1, 0).bit_length()  # ceil(log2 p)
-        for stage in range(stages):
-            span = 1 << stage
-            transfers: List[Transfer] = []
-            for root in problem.sources:
-                # Virtual ranks relative to the root: [0, span) already
-                # hold the message and feed [span, 2*span).
-                for vsrc in range(span):
-                    vdst = vsrc + span
-                    if vdst >= p:
-                        break
-                    src = (vsrc + root) % p
-                    dst = (vdst + root) % p
-                    transfers.append(Transfer(src, dst, frozenset((root,))))
-            schedule.add_round(transfers, label=f"flood-{stage}")
+        with schedule.span("flood"):
+            for stage in range(stages):
+                span = 1 << stage
+                transfers: List[Transfer] = []
+                for root in problem.sources:
+                    # Virtual ranks relative to the root: [0, span) already
+                    # hold the message and feed [span, 2*span).
+                    for vsrc in range(span):
+                        vdst = vsrc + span
+                        if vdst >= p:
+                            break
+                        src = (vsrc + root) % p
+                        dst = (vdst + root) % p
+                        transfers.append(Transfer(src, dst, frozenset((root,))))
+                schedule.add_round(transfers, label=f"flood-{stage}")
         return schedule

@@ -96,12 +96,14 @@ class _PartBase(BroadcastAlgorithm):
         transfers, holdings = repositioning_round(
             problem, tuple(targets1) + tuple(targets2)
         )
-        schedule.add_round(transfers, label="reposition")
+        with schedule.span("reposition"):
+            schedule.add_round(transfers, label="reposition")
         # Parallel, independent broadcasts within the two groups.
         rounds1 = self._group_rounds(problem, g1, holdings)
         rounds2 = self._group_rounds(problem, g2, holdings)
-        for idx, rnd in enumerate(_merge_parallel((rounds1, rounds2))):
-            schedule.add_round(rnd, label=f"group-bcast-{idx}")
+        with schedule.span("group-bcast"):
+            for idx, rnd in enumerate(_merge_parallel((rounds1, rounds2))):
+                schedule.add_round(rnd, label=f"group-bcast-{idx}")
         # Final exchange: the i-th processor of G1 (row-major) pairs
         # with the i-th of G2 and they swap their groups' full data.
         set1 = frozenset().union(
@@ -116,7 +118,8 @@ class _PartBase(BroadcastAlgorithm):
                 exchange.append(Transfer(rank1, rank2, set1))
             if set2:
                 exchange.append(Transfer(rank2, rank1, set2))
-        schedule.add_round(exchange, label="exchange")
+        with schedule.span("exchange"):
+            schedule.add_round(exchange, label="exchange")
         return schedule
 
 

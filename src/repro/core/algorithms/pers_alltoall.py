@@ -39,15 +39,16 @@ def build_pers_alltoall_schedule(
     """
     schedule = Schedule(problem, algorithm=name)
     p = problem.p
-    for k in range(1, p):
-        transfers = []
-        for src in problem.sources:
-            dst, _ = xor_or_cyclic_partner(src, p, k)
-            if dst != src:
-                transfers.append(Transfer(src, dst, frozenset((src,))))
-        schedule.add_round(
-            transfers, label=f"perm-{k}", collective=collective, mpi=mpi
-        )
+    with schedule.span("perm"):
+        for k in range(1, p):
+            transfers = []
+            for src in problem.sources:
+                dst, _ = xor_or_cyclic_partner(src, p, k)
+                if dst != src:
+                    transfers.append(Transfer(src, dst, frozenset((src,))))
+            schedule.add_round(
+                transfers, label=f"perm-{k}", collective=collective, mpi=mpi
+            )
     return schedule
 
 

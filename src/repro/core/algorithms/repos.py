@@ -76,10 +76,12 @@ class ReposLin(BroadcastAlgorithm):
         targets = ideal.ideal_linear_sources(problem.machine, problem.s)
         schedule = Schedule(problem, algorithm=self.name)
         transfers, holdings = repositioning_round(problem, targets)
-        schedule.add_round(transfers, label="reposition")
+        with schedule.span("reposition"):
+            schedule.add_round(transfers, label="reposition")
         order = problem.machine.linear_order()
-        for idx, rnd in enumerate(halving_rounds(order, holdings)):
-            schedule.add_round(rnd, label=f"halving-{idx}")
+        with schedule.span("halving"):
+            for idx, rnd in enumerate(halving_rounds(order, holdings)):
+                schedule.add_round(rnd, label=f"halving-{idx}")
         return schedule
 
 
@@ -98,7 +100,8 @@ class _ReposXY(BroadcastAlgorithm):
         targets = ideal.ideal_row_sources(problem.machine, problem.s)
         schedule = Schedule(problem, algorithm=self.name)
         transfers, holdings = repositioning_round(problem, targets)
-        schedule.add_round(transfers, label="reposition")
+        with schedule.span("reposition"):
+            schedule.add_round(transfers, label="reposition")
         ideal_problem = problem.replace_sources(targets)
         rows_first = self._rows_first(ideal_problem, view)
         return build_xy_schedule(

@@ -56,6 +56,7 @@ class BrRing(BroadcastAlgorithm):
                 u = order[(start + hop) % p]
                 v = order[(start + hop + 1) % p]
                 rounds[hop].append(Transfer(u, v, frozenset((src_rank,))))
-        for idx, transfers in enumerate(rounds):
-            schedule.add_round(transfers, label=f"ring-{idx}")
+        with schedule.span("ring"):
+            for idx, transfers in enumerate(rounds):
+                schedule.add_round(transfers, label=f"ring-{idx}")
         return schedule

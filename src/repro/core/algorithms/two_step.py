@@ -40,16 +40,18 @@ def build_two_step_schedule(
         for src in problem.sources
         if src != root
     ]
-    schedule.add_round(gather, label="gather", collective=collective, mpi=mpi)
+    with schedule.span("gather"):
+        schedule.add_round(gather, label="gather", collective=collective, mpi=mpi)
     # Step 2: one-to-all of the combined message over the linear order.
     order = problem.machine.linear_order()
     all_messages = frozenset(problem.sources)
     empty: frozenset = frozenset()
     holdings = {rank: (all_messages if rank == root else empty) for rank in order}
-    for idx, transfers in enumerate(halving_rounds(order, holdings)):
-        schedule.add_round(
-            transfers, label=f"bcast-{idx}", collective=collective, mpi=mpi
-        )
+    with schedule.span("bcast"):
+        for idx, transfers in enumerate(halving_rounds(order, holdings)):
+            schedule.add_round(
+                transfers, label=f"bcast-{idx}", collective=collective, mpi=mpi
+            )
     return schedule
 
 

@@ -30,17 +30,19 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, _phase_of_label
 from repro.errors import PeerFailedError
 from repro.mpsim.comm import Comm
 
 __all__ = ["ScheduleExecutor"]
 
 #: One rank's slice of one round, fully resolved at plan-build time:
-#: ``(round_idx, collective, mpi, sends, recvs)`` where sends are
-#: ``(dst, msgset, nbytes)`` triples and recvs are source ranks.
+#: ``(round_idx, phase, collective, mpi, sends, recvs)`` where sends
+#: are ``(dst, msgset, nbytes)`` triples and recvs are source ranks.
+#: ``phase`` is the round's observability span name (see
+#: :meth:`~repro.core.schedule.Schedule.span`).
 _RoundPlan = Tuple[
-    int, bool, bool, List[Tuple[int, Any, int]], List[int]
+    int, str, bool, bool, List[Tuple[int, Any, int]], List[int]
 ]
 
 
@@ -68,6 +70,7 @@ class ScheduleExecutor:
         self.holdings: List[Optional[Set[int]]] = [None] * p
         self._plan: List[List[_RoundPlan]] = [[] for _ in range(p)]
         for round_idx, rnd in enumerate(schedule.rounds):
+            phase = rnd.phase or _phase_of_label(rnd.label)
             touched: Dict[int, Tuple[List[Tuple[int, Any, int]], List[int]]] = {}
             for t in rnd:
                 touched.setdefault(t.src, ([], []))[0].append(
@@ -76,7 +79,7 @@ class ScheduleExecutor:
                 touched.setdefault(t.dst, ([], []))[1].append(t.src)
             for rank, (sends, recvs) in touched.items():
                 self._plan[rank].append(
-                    (round_idx, rnd.collective, rnd.mpi, sends, recvs)
+                    (round_idx, phase, rnd.collective, rnd.mpi, sends, recvs)
                 )
 
     def program(self, comm: Comm) -> Generator[Any, Any, frozenset]:
@@ -85,25 +88,30 @@ class ScheduleExecutor:
         holdings: Set[int] = set(self._initial[rank])
         self.holdings[rank] = holdings
         iteration_cell = comm._iteration_cell
-        for round_idx, collective, mpi, sends, recvs in self._plan[rank]:
+        engine = comm.world.engine
+        for round_idx, phase, collective, mpi, sends, recvs in self._plan[rank]:
             iteration_cell[0] = round_idx
-            mode = comm.with_mode(collective=collective, mpi=mpi)
-            requests = []
-            for dst, msgset, nbytes in sends:
-                try:
-                    request = yield from mode.isend(
-                        dst, msgset, nbytes=nbytes, tag=round_idx
-                    )
-                except PeerFailedError:
-                    # Degraded operation: a send into a dead node is
-                    # abandoned, the rank carries on with the rest of its
-                    # schedule, and the shortfall surfaces as a partial
-                    # delivery fraction instead of a crashed run.
-                    continue
-                requests.append(request)
-            for src in recvs:
-                envelope = yield from mode.recv(source=src, tag=round_idx)
-                holdings.update(envelope.payload)
-            for request in requests:
-                yield from request.wait()
+            # Observability span around this rank's slice of the round;
+            # with tracing off this is the shared NULL_SPAN no-op.
+            with engine.span(phase, rank=rank, round=round_idx):
+                mode = comm.with_mode(collective=collective, mpi=mpi)
+                requests = []
+                for dst, msgset, nbytes in sends:
+                    try:
+                        request = yield from mode.isend(
+                            dst, msgset, nbytes=nbytes, tag=round_idx
+                        )
+                    except PeerFailedError:
+                        # Degraded operation: a send into a dead node is
+                        # abandoned, the rank carries on with the rest of
+                        # its schedule, and the shortfall surfaces as a
+                        # partial delivery fraction instead of a crashed
+                        # run.
+                        continue
+                    requests.append(request)
+                for src in recvs:
+                    envelope = yield from mode.recv(source=src, tag=round_idx)
+                    holdings.update(envelope.payload)
+                for request in requests:
+                    yield from request.wait()
         return frozenset(holdings)

@@ -231,51 +231,55 @@ def _rank_program(
     num_sources = len(expected)
     max_table = _table_nbytes(len(members), num_sources)
     gossip_wait = _RECV_SLACK * transfer_budget(comm, max_table)
-    for round_idx, arrows in enumerate(gossip_of[rank]):
-        receives = 0
-        for src, dst in arrows:
-            if src == rank:
+    with comm.world.engine.span("recovery-gossip", rank=rank):
+        for round_idx, arrows in enumerate(gossip_of[rank]):
+            receives = 0
+            for src, dst in arrows:
+                if src == rank:
+                    try:
+                        yield from reliable.send(
+                            dst,
+                            dict(table),
+                            _table_nbytes(len(table), num_sources),
+                            tag=round_idx,
+                        )
+                    except PeerFailedError:
+                        continue
+                elif dst == rank:
+                    receives += 1
+            for _ in range(receives):
                 try:
-                    yield from reliable.send(
-                        dst,
-                        dict(table),
-                        _table_nbytes(len(table), num_sources),
-                        tag=round_idx,
+                    envelope = yield from reliable.recv(
+                        ANY_SOURCE, tag=round_idx, timeout_us=gossip_wait
                     )
-                except PeerFailedError:
+                except (PeerFailedError, RecvTimeoutError):
                     continue
-            elif dst == rank:
-                receives += 1
-        for _ in range(receives):
-            try:
-                envelope = yield from reliable.recv(
-                    ANY_SOURCE, tag=round_idx, timeout_us=gossip_wait
-                )
-            except (PeerFailedError, RecvTimeoutError):
-                continue
-            for peer, held in envelope.payload.items():
-                table[peer] = table.get(peer, frozenset()) | held
+                for peer, held in envelope.payload.items():
+                    table[peer] = table.get(peer, frozenset()) | held
     # All members derive the same plan from the (normally identical)
     # gossiped tables and walk it in global order: the earliest
     # unfinished entry always has both endpoints at it, so the phase
     # makes progress, and reliable timeouts bound every entry even when
     # a table diverged.
     plan = _plan_serves(table, members, expected, problem)
-    for holder, receiver, msgset, nbytes in plan:
-        if holder == rank:
-            try:
-                yield from reliable.send(receiver, msgset, nbytes, tag=SERVE_TAG)
-            except PeerFailedError:
-                continue
-        elif receiver == rank:
-            wait = _RECV_SLACK * transfer_budget(comm, nbytes)
-            try:
-                envelope = yield from reliable.recv(
-                    holder, tag=SERVE_TAG, timeout_us=wait
-                )
-            except (PeerFailedError, RecvTimeoutError):
-                continue
-            holdings.update(envelope.payload)
+    with comm.world.engine.span("recovery-serve", rank=rank):
+        for holder, receiver, msgset, nbytes in plan:
+            if holder == rank:
+                try:
+                    yield from reliable.send(
+                        receiver, msgset, nbytes, tag=SERVE_TAG
+                    )
+                except PeerFailedError:
+                    continue
+            elif receiver == rank:
+                wait = _RECV_SLACK * transfer_budget(comm, nbytes)
+                try:
+                    envelope = yield from reliable.recv(
+                        holder, tag=SERVE_TAG, timeout_us=wait
+                    )
+                except (PeerFailedError, RecvTimeoutError):
+                    continue
+                holdings.update(envelope.payload)
     return frozenset(holdings), comm.now
 
 

@@ -23,6 +23,7 @@ distributions, and source counts.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
@@ -30,6 +31,16 @@ from repro.core.problem import BroadcastProblem
 from repro.errors import AlgorithmError, VerificationError
 
 __all__ = ["Transfer", "Round", "Schedule"]
+
+
+def _phase_of_label(label: str) -> str:
+    """Phase name a bare round label implies (``halving-3`` → ``halving``)."""
+    if not label:
+        return "round"
+    stem, dash, suffix = label.rpartition("-")
+    if dash and suffix.isdigit():
+        return stem
+    return label
 
 
 @dataclass(frozen=True)
@@ -77,19 +88,25 @@ class Round:
     transfers:
         The messages exchanged this round.
     label:
-        Human-readable phase tag (shown in reports/traces).
+        Human-readable per-round tag (shown in reports/traces).
     collective:
         Whether these messages are issued from inside a library
         collective (charged the machine's collective overhead tier).
     mpi:
         Whether these messages pay the MPI point-to-point overhead
         scale (vs. the native library).
+    phase:
+        The algorithm phase this round belongs to — the span name the
+        executor opens around the round at run time (see
+        :meth:`Schedule.span`).  Empty means unphased; the executor
+        falls back to the ``label``.
     """
 
     transfers: Tuple[Transfer, ...]
     label: str = ""
     collective: bool = False
     mpi: bool = False
+    phase: str = ""
 
     def __post_init__(self) -> None:
         # Duplicate (src, dst) pairs within a round are legal: the
@@ -115,6 +132,8 @@ class Schedule:
     problem: BroadcastProblem
     rounds: List[Round] = field(default_factory=list)
     algorithm: str = ""
+    #: Phase name applied to rounds added inside a :meth:`span` block.
+    _phase: str = field(default="", repr=False, compare=False)
 
     def add_round(
         self,
@@ -122,12 +141,39 @@ class Schedule:
         label: str = "",
         collective: bool = False,
         mpi: bool = False,
+        phase: str | None = None,
     ) -> None:
-        """Append a round (empty rounds are dropped silently)."""
+        """Append a round (empty rounds are dropped silently).
+
+        ``phase`` defaults to the enclosing :meth:`span` block's name
+        (empty outside any block); pass it explicitly to override.
+        """
         if transfers:
             self.rounds.append(
-                Round(tuple(transfers), label=label, collective=collective, mpi=mpi)
+                Round(
+                    tuple(transfers),
+                    label=label,
+                    collective=collective,
+                    mpi=mpi,
+                    phase=self._phase if phase is None else phase,
+                )
             )
+
+    @contextmanager
+    def span(self, name: str) -> Iterator["Schedule"]:
+        """Declare an algorithm phase: rounds added inside carry it.
+
+        This is the *static* half of span instrumentation — algorithms
+        annotate the rounds they compile, and the executor opens a
+        matching runtime span (per rank, per round) when a tracer is
+        attached.  Nesting replaces the phase for the inner block.
+        """
+        previous = self._phase
+        self._phase = name
+        try:
+            yield self
+        finally:
+            self._phase = previous
 
     def extend(self, other: "Schedule") -> None:
         """Append all of ``other``'s rounds (phase composition)."""
@@ -213,6 +259,22 @@ class Schedule:
                 f"after {self.num_rounds} rounds; e.g. rank {example} "
                 f"missing {missing[:8]}"
             )
+
+    def phases(self) -> List[Tuple[str, int, int]]:
+        """Contiguous phase runs as ``(name, first_round, last_round)``.
+
+        Unphased rounds fall back to their label with any trailing
+        ``-<n>`` counter stripped, so legacy labels like ``halving-3``
+        group under ``halving``.
+        """
+        out: List[Tuple[str, int, int]] = []
+        for idx, rnd in enumerate(self.rounds):
+            name = rnd.phase or _phase_of_label(rnd.label)
+            if out and out[-1][0] == name:
+                out[-1] = (name, out[-1][1], idx)
+            else:
+                out.append((name, idx, idx))
+        return out
 
     # -- statistics -----------------------------------------------------------
     def bytes_by_round(self) -> List[int]:

@@ -234,6 +234,7 @@ class Machine:
             contention=contention,
             switching=self.params.switching,
             injector=injector,
+            tracer=tracer,
         )
         mapping = self._mapping_factory(self.topology, seed)
         world = World(engine, fabric, self.params, mapping, injector=injector)

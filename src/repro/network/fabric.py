@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.network.topology import Topology
+from repro.simulator.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
@@ -102,6 +103,11 @@ class Fabric:
         transfer is planned fault-aware: dead links force a detour (or
         lose the message — ``TransferStats.lost``), and degraded links
         multiply the per-byte wire time.
+    tracer:
+        Optional :class:`~repro.simulator.Tracer`.  When set, every
+        network transfer records an ``"xfer"`` event carrying its link
+        path and reservation window — the raw material for the per-link
+        utilization and queue-depth series of :mod:`repro.obs`.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class Fabric:
         contention: bool = True,
         switching: str = "wormhole",
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if t_byte < 0 or t_hop < 0 or route_setup < 0:
             raise ConfigurationError("fabric timing parameters must be >= 0")
@@ -129,6 +136,7 @@ class Fabric:
         self.contention = contention
         self.switching = switching
         self.injector = injector
+        self.tracer = tracer
         self._lost = 0
         self._free_at: List[float] = [0.0] * topology.num_links
         self._busy_time: List[float] = [0.0] * topology.num_links
@@ -157,6 +165,12 @@ class Fabric:
                 # through the engine's fault-naming deadlock diagnostic.
                 self._transfers += 1
                 self._lost += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        now,
+                        "xfer_lost",
+                        {"src": src, "dst": dst, "nbytes": nbytes},
+                    )
                 return TransferStats(now, math.inf, math.inf, hops=-1)
             path: Sequence[int] = planned
         else:
@@ -172,6 +186,19 @@ class Fabric:
             )
         self._transfers += 1
         self._total_wait += start - now
+        if self.tracer is not None:
+            self.tracer.record(
+                now,
+                "xfer",
+                {
+                    "src": src,
+                    "dst": dst,
+                    "nbytes": nbytes,
+                    "links": tuple(path),
+                    "start": start,
+                    "finish": finish,
+                },
+            )
         return TransferStats(now, start, finish, hops=hops)
 
     def _transfer_wormhole(

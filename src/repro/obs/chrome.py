@@ -1,0 +1,308 @@
+"""Chrome trace-event JSON export of simulation traces.
+
+The output follows the Trace Event Format consumed by
+``chrome://tracing`` and Perfetto: spans become ``B``/``E`` duration
+events on one *process* per rank, sends become ``X`` complete events on
+a per-rank "network" thread, receives become instant events, and the
+fabric's per-transfer records become ``X`` slices on a dedicated link
+process (one thread per wire link).
+
+Track layout (``pid``/``tid``):
+
+==============================  ==========================================
+``pid = rank``, ``tid = 0``     algorithm spans (round phases)
+``pid = rank``, ``tid = 1``     network events (sends, recvs, timeouts)
+``pid = rank``, ``tid = 2``     recovery-protocol spans (their own clock)
+``pid = LINKS_PID``             wire links, ``tid = link id``
+==============================  ==========================================
+
+Recovery spans get their own thread because the recovery pass runs on a
+fresh engine clock starting at 0 — overlaying them on the algorithm
+track would break Chrome's begin/end nesting.
+
+The top-level JSON carries ``otherData.schema`` (``"repro-trace/1"``)
+so downstream tooling can detect format drift, and
+``otherData.truncated`` so a capped trace is never mistaken for a
+complete one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import warnings
+from typing import Any, Dict, List, Optional, Union
+
+from repro.network.topology import Topology
+from repro.simulator.trace import SPAN_BEGIN, SPAN_END, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "LINKS_PID",
+    "export_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Version tag of the exported JSON layout (mirrors ``repro-perf/1``).
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Synthetic pid of the per-link track group (far above any rank).
+LINKS_PID = 1_000_000
+
+#: Thread ids within each rank's process.
+SPAN_TID = 0
+NET_TID = 1
+RECOVERY_TID = 2
+
+#: Tracer truncation has been warned about already (warn once per
+#: process — a sweep exporting hundreds of truncated traces should not
+#: drown the report in repeats).
+_truncation_warned = False
+
+
+def _span_tid(name: str) -> int:
+    return RECOVERY_TID if name.startswith("recovery-") else SPAN_TID
+
+
+def _link_names(
+    topology: Optional[Topology], link_ids: List[int]
+) -> Dict[int, str]:
+    names: Dict[int, str] = {}
+    for link_id in link_ids:
+        if topology is not None:
+            try:
+                u, v = topology.link_endpoints(link_id)
+                names[link_id] = f"link {u}->{v}"
+                continue
+            except Exception:
+                pass
+        names[link_id] = f"link {link_id}"
+    return names
+
+
+def _wire_link_ids(
+    topology: Optional[Topology], links: List[int]
+) -> List[int]:
+    """Wire links only: injection/ejection channels (ids < 2n) excluded."""
+    if topology is None:
+        return links
+    first_wire = 2 * topology.num_nodes
+    return [link for link in links if link >= first_wire]
+
+
+def export_chrome_trace(
+    tracer: Tracer,
+    *,
+    topology: Optional[Topology] = None,
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Render ``tracer`` as a Chrome trace-event JSON object.
+
+    ``topology`` (optional) names the link tracks with their endpoint
+    nodes and drops the injection/ejection channels from them; without
+    it links are labelled by raw id.  ``label`` goes verbatim into
+    ``otherData`` (the CLIs pass the run spec).
+
+    The result is a plain dict ready for :func:`json.dump`; use
+    :func:`write_chrome_trace` to serialise it canonically (sorted
+    keys, compact separators — the form the golden fixtures hash).
+    """
+    events: List[Dict[str, Any]] = []
+    ranks: List[int] = []
+    seen_ranks = set()
+    link_ids: List[int] = []
+    seen_links = set()
+
+    def note_rank(rank: Any) -> None:
+        if isinstance(rank, int) and rank not in seen_ranks:
+            seen_ranks.add(rank)
+            ranks.append(rank)
+
+    for record in tracer:
+        kind = record.kind
+        fields = record.fields
+        if kind in (SPAN_BEGIN, SPAN_END):
+            name = fields.get("name", "span")
+            rank = fields.get("rank", 0)
+            note_rank(rank)
+            args = {
+                k: v for k, v in fields.items() if k not in ("name", "rank")
+            }
+            events.append(
+                {
+                    "name": name,
+                    "ph": "B" if kind == SPAN_BEGIN else "E",
+                    "ts": record.time,
+                    "pid": rank,
+                    "tid": _span_tid(name),
+                    "args": args,
+                }
+            )
+        elif kind == "send":
+            src = fields["src"]
+            note_rank(src)
+            start = fields["start"]
+            events.append(
+                {
+                    "name": f"send->{fields['dst']}",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": fields["finish"] - start,
+                    "pid": src,
+                    "tid": NET_TID,
+                    "args": {
+                        "dst": fields["dst"],
+                        "tag": fields.get("tag"),
+                        "nbytes": fields.get("nbytes"),
+                    },
+                }
+            )
+        elif kind == "recv":
+            rank = fields["rank"]
+            note_rank(rank)
+            events.append(
+                {
+                    "name": f"recv<-{fields['src']}",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": record.time,
+                    "pid": rank,
+                    "tid": NET_TID,
+                    "args": {
+                        "src": fields["src"],
+                        "tag": fields.get("tag"),
+                        "nbytes": fields.get("nbytes"),
+                        "waited": fields.get("waited"),
+                    },
+                }
+            )
+        elif kind == "xfer":
+            start = fields["start"]
+            dur = fields["finish"] - start
+            for link in _wire_link_ids(topology, list(fields["links"])):
+                if link not in seen_links:
+                    seen_links.add(link)
+                    link_ids.append(link)
+                events.append(
+                    {
+                        "name": f"{fields['src']}->{fields['dst']}",
+                        "ph": "X",
+                        "ts": start,
+                        "dur": dur,
+                        "pid": LINKS_PID,
+                        "tid": link,
+                        "args": {"nbytes": fields["nbytes"]},
+                    }
+                )
+        else:
+            # Everything else (send_lost, timeouts, reliable_retry,
+            # xfer_lost, custom kinds) surfaces as an instant marker on
+            # the owning rank's network thread so faults stay visible.
+            rank = fields.get("rank", fields.get("src", 0))
+            note_rank(rank)
+            events.append(
+                {
+                    "name": kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": record.time,
+                    "pid": rank,
+                    "tid": NET_TID,
+                    "args": dict(fields),
+                }
+            )
+
+    metadata: List[Dict[str, Any]] = []
+    for rank in sorted(seen_ranks):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        for tid, thread in (
+            (SPAN_TID, "algorithm"),
+            (NET_TID, "network"),
+            (RECOVERY_TID, "recovery"),
+        ):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+    if link_ids:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": LINKS_PID,
+                "args": {"name": "links"},
+            }
+        )
+        names = _link_names(topology, sorted(link_ids))
+        for link_id in sorted(link_ids):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": LINKS_PID,
+                    "tid": link_id,
+                    "args": {"name": names[link_id]},
+                }
+            )
+
+    other: Dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "records": len(tracer),
+        "truncated": tracer.truncated,
+    }
+    if label is not None:
+        other["label"] = label
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def canonical_json(trace: Dict[str, Any]) -> str:
+    """The canonical serialisation (sorted keys, compact separators).
+
+    Deterministic byte-for-byte for a deterministic simulation, which
+    is what lets the golden fixtures pin exported traces by sha256.
+    """
+    return json.dumps(trace, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(
+    path: Union[str, pathlib.Path],
+    tracer: Tracer,
+    *,
+    topology: Optional[Topology] = None,
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Export ``tracer`` to ``path`` in canonical form; returns the dict.
+
+    A truncated trace (the tracer hit its record cap) still exports —
+    the JSON says so in ``otherData.truncated`` — but the first such
+    export per process also raises a :class:`RuntimeWarning`, because a
+    silently incomplete trace reads exactly like a complete one.
+    """
+    global _truncation_warned
+    trace = export_chrome_trace(tracer, topology=topology, label=label)
+    if tracer.truncated and not _truncation_warned:
+        _truncation_warned = True
+        warnings.warn(
+            f"trace capped at {len(tracer)} records; the exported JSON "
+            "is incomplete (otherData.truncated = true)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    pathlib.Path(path).write_text(canonical_json(trace))
+    return trace

@@ -23,7 +23,14 @@ from repro.simulator.engine import Engine
 from repro.simulator.events import AllOf, AnyOf, Event, Timeout
 from repro.simulator.process import Process
 from repro.simulator.resources import Store
-from repro.simulator.trace import TraceRecord, Tracer
+from repro.simulator.trace import (
+    NULL_SPAN,
+    SPAN_BEGIN,
+    SPAN_END,
+    Span,
+    TraceRecord,
+    Tracer,
+)
 
 __all__ = [
     "Engine",
@@ -35,4 +42,8 @@ __all__ = [
     "Store",
     "Tracer",
     "TraceRecord",
+    "Span",
+    "NULL_SPAN",
+    "SPAN_BEGIN",
+    "SPAN_END",
 ]

@@ -25,7 +25,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.errors import DeadlockError, SimulationError
 from repro.simulator.events import Event, Timeout
 from repro.simulator.process import Process
-from repro.simulator.trace import Tracer
+from repro.simulator.trace import NULL_SPAN, Span, Tracer
 
 __all__ = ["Engine"]
 
@@ -166,3 +166,24 @@ class Engine:
         """Record a trace event if a tracer is attached (cheap no-op otherwise)."""
         if self.tracer is not None:
             self.tracer.record(self._now, kind, fields)
+
+    def span(self, name: str, **fields: Any) -> Any:
+        """A context manager bracketing a named phase in the trace.
+
+        With a tracer attached the span records ``span_begin`` /
+        ``span_end`` at the current virtual time; without one it is the
+        shared no-op singleton, so instrumented code pays one ``None``
+        check and no allocation when observability is off.
+
+        Examples
+        --------
+        >>> from repro.simulator.trace import Tracer
+        >>> engine = Engine(tracer=Tracer())
+        >>> with engine.span("fold", rank=0):
+        ...     engine.trace("send", dst=1)
+        >>> [r.kind for r in engine.tracer]
+        ['span_begin', 'send', 'span_end']
+        """
+        if self.tracer is None:
+            return NULL_SPAN
+        return Span(self, name, fields)

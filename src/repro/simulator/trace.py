@@ -5,6 +5,17 @@ to capture a chronological record of kernel- and network-level events
 (sends, link grants, deliveries, ...).  Tracing is off by default —
 ``Engine.trace`` is a no-op without a tracer — so production benchmark
 runs pay nothing for it.
+
+Two record layers share the one tracer:
+
+* **kernel events** — point records emitted by the message layer and
+  the fabric (``send``, ``recv``, ``xfer``, ...);
+* **spans** — paired ``span_begin``/``span_end`` records bracketing a
+  named phase of an algorithm (``Engine.span("fold", rank=3)``), under
+  which the kernel events of that phase nest chronologically.
+
+Exporters in :mod:`repro.obs` turn both into Chrome trace-event JSON
+and per-phase summaries.
 """
 
 from __future__ import annotations
@@ -12,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "Span", "NULL_SPAN", "SPAN_BEGIN", "SPAN_END"]
+
+#: Record kind of a span opening (fields carry ``name`` + user fields).
+SPAN_BEGIN = "span_begin"
+#: Record kind of a span closing (fields mirror the opening record).
+SPAN_END = "span_end"
 
 
 @dataclass(frozen=True)
@@ -73,3 +89,51 @@ class Tracer:
         if self.truncated:
             lines.append("... trace truncated ...")
         return "\n".join(lines)
+
+
+class Span:
+    """A named phase: records ``span_begin`` on entry, ``span_end`` on exit.
+
+    Built by :meth:`~repro.simulator.engine.Engine.span`; use as a
+    context manager so the end record cannot be forgotten.  The same
+    ``fields`` dict is recorded on both ends (plus the span ``name``),
+    which is what lets exporters pair them back up per rank.
+    """
+
+    __slots__ = ("_engine", "name", "fields")
+
+    def __init__(self, engine: Any, name: str, fields: Dict[str, Any]) -> None:
+        self._engine = engine
+        self.name = name
+        self.fields = fields
+
+    def __enter__(self) -> "Span":
+        engine = self._engine
+        engine.tracer.record(
+            engine.now, SPAN_BEGIN, {"name": self.name, **self.fields}
+        )
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        engine = self._engine
+        engine.tracer.record(
+            engine.now, SPAN_END, {"name": self.name, **self.fields}
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span returned when no tracer is attached."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+#: The singleton no-op span — ``Engine.span`` returns this (no
+#: allocation) whenever tracing is disabled.
+NULL_SPAN = _NullSpan()

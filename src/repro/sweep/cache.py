@@ -49,6 +49,15 @@ class ResultCache:
         """Entry path for a content hash."""
         return self.root / key[:2] / f"{key}.json"
 
+    def obs_path_for(self, key: str) -> pathlib.Path:
+        """Observation-summary path for a content hash.
+
+        Observations live *beside* the result entry, never inside it:
+        the result file's bytes — and the point's cache key — are
+        identical whether or not the run was observed.
+        """
+        return self.root / key[:2] / f"{key}.obs.json"
+
     # -- read --------------------------------------------------------------
     def load(self, point: SweepPoint) -> Optional[Tuple[Dict[str, Any], float]]:
         """``(result_dict, original_compute_seconds)`` or ``None`` on miss.
@@ -83,6 +92,32 @@ class ResultCache:
             return None
         return result, compute_s
 
+    def load_observation(self, point: SweepPoint) -> Optional[Dict[str, Any]]:
+        """The stored observation summary for ``point``, or ``None``.
+
+        ``None`` also covers entries cached before observability existed
+        (or by an unobserved sweep) — a result hit with no observation
+        is normal, not a defect, so nothing is deleted here unless the
+        file itself is corrupt or stale.
+        """
+        path = self.obs_path_for(point.key())
+        try:
+            entry = json.loads(path.read_text())
+            if entry["point"] != point.payload():
+                raise ValueError("stored payload does not match the point")
+            observation = entry["observation"]
+            if not isinstance(observation, dict):
+                raise TypeError("observation must be a dict")
+        except OSError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return observation
+
     # -- write -------------------------------------------------------------
     def store(
         self, point: SweepPoint, result: Dict[str, Any], compute_s: float
@@ -99,10 +134,25 @@ class ResultCache:
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
 
+    def store_observation(
+        self, point: SweepPoint, observation: Dict[str, Any]
+    ) -> None:
+        """Persist one point's observation summary (atomic replace)."""
+        path = self.obs_path_for(point.key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"point": point.payload(), "observation": observation}
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+
     # -- maintenance -------------------------------------------------------
     def __len__(self) -> int:
-        """Number of entries on disk."""
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        """Number of result entries on disk (observations not counted)."""
+        return sum(
+            1
+            for p in self.root.glob("??/*.json")
+            if not p.name.endswith(".obs.json")
+        )
 
     def clear(self) -> None:
         """Delete every entry (and the cache directory itself)."""

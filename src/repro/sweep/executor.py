@@ -33,10 +33,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runner import BroadcastResult, run_broadcast
 from repro.metrics.progress import SweepReport
+from repro.simulator.trace import Tracer
 from repro.sweep.cache import ResultCache
 from repro.sweep.spec import SweepPoint
 
-__all__ = ["SweepExecutor", "evaluate_point", "resolve_jobs"]
+__all__ = [
+    "SweepExecutor",
+    "evaluate_point",
+    "evaluate_point_observed",
+    "resolve_jobs",
+]
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
@@ -96,6 +102,43 @@ def evaluate_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     return result.to_dict(), time.perf_counter() - start
 
 
+def evaluate_point_observed(
+    payload: Dict[str, Any]
+) -> Tuple[Dict[str, Any], float, Dict[str, Any]]:
+    """Like :func:`evaluate_point`, plus an observation summary.
+
+    The run is traced with a full :class:`~repro.simulator.trace.Tracer`
+    and digested through :func:`repro.obs.summary.summarize_trace`.
+    Trace records never influence simulated time, so the result dict is
+    byte-identical to :func:`evaluate_point`'s — which is what lets an
+    observed sweep share cache entries with an unobserved one (the
+    differential tests pin this).
+    """
+    from repro.obs.summary import summarize_trace  # local: keep workers lean
+
+    point = SweepPoint.from_payload(payload)
+    start = time.perf_counter()
+    problem = point.build_problem()
+    tracer = Tracer()
+    result = run_broadcast(
+        problem,
+        point.algorithm,
+        seed=point.seed,
+        contention=point.contention,
+        faults=point.faults,
+        recover=point.recover,
+        tracer=tracer,
+    )
+    seconds = time.perf_counter() - start
+    observation = {
+        "algorithm": point.algorithm,
+        "distribution": point.distribution,
+        "machine": point.machine,
+        "summary": summarize_trace(tracer, topology=problem.machine.topology),
+    }
+    return result.to_dict(), seconds, observation
+
+
 class SweepExecutor:
     """Evaluates batches of sweep points, optionally in parallel and cached.
 
@@ -108,22 +151,44 @@ class SweepExecutor:
         A :class:`ResultCache`, or ``None`` to disable memoization
         entirely — no reads *and* no writes (the ``--no-cache`` CLI
         contract).
+    observe:
+        Trace every computed point and attach a per-point observation
+        summary (see :func:`repro.obs.summary.summarize_trace`).
+        Observation is **cache-key neutral**: summaries are stored
+        beside cache entries (``<key>.obs.json``), never inside them, so
+        observed and unobserved sweeps share results bit-for-bit.  A
+        cache hit whose entry predates observability yields ``None`` in
+        :attr:`last_observations` — the result is served from cache
+        unchanged rather than recomputed.
 
     Attributes
     ----------
     last_report:
         :class:`~repro.metrics.progress.SweepReport` of the most recent
         :meth:`run` call.
+    last_observations:
+        With ``observe=True``: per-point observation dicts of the most
+        recent :meth:`run`, aligned with its input order (``None`` for
+        unobserved cache hits).  ``None`` when observation is off.
     session:
         Accumulated counters across every :meth:`run` of this executor.
     """
 
     def __init__(
-        self, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        observe: bool = False,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.observe = observe
         self.last_report: Optional[SweepReport] = None
+        self.last_observations: Optional[List[Optional[Dict[str, Any]]]] = None
+        #: With ``observe=True``: every observation across this
+        #: executor's lifetime, in evaluation order (the sweep-level
+        #: roll-ups aggregate over this).
+        self.session_observations: List[Optional[Dict[str, Any]]] = []
         self.session = SweepReport(jobs=self.jobs)
 
     def run(self, points: Sequence[SweepPoint]) -> List[BroadcastResult]:
@@ -138,6 +203,7 @@ class SweepExecutor:
         wall_start = time.perf_counter()
         report = SweepReport(total=len(points), jobs=self.jobs)
         result_dicts: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        observations: List[Optional[Dict[str, Any]]] = [None] * len(points)
         first_index_by_key: Dict[str, int] = {}
         duplicate_of: Dict[int, int] = {}
         todo: List[int] = []
@@ -152,18 +218,30 @@ class SweepExecutor:
                 result_dicts[i], original_s = hit
                 report.cached += 1
                 report.saved_s += original_s
+                if self.observe:
+                    observations[i] = self.cache.load_observation(point)
             else:
                 todo.append(i)
 
         if todo:
             payloads = [points[i].payload() for i in todo]
+            evaluate = (
+                evaluate_point_observed if self.observe else evaluate_point
+            )
             if self.jobs > 1 and len(todo) > 1:
                 workers = min(self.jobs, len(todo))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    evaluated = list(pool.map(evaluate_point, payloads))
+                    evaluated = list(pool.map(evaluate, payloads))
             else:
-                evaluated = [evaluate_point(payload) for payload in payloads]
-            for i, (result_dict, seconds) in zip(todo, evaluated):
+                evaluated = [evaluate(payload) for payload in payloads]
+            for i, item in zip(todo, evaluated):
+                if self.observe:
+                    result_dict, seconds, observation = item
+                    observations[i] = observation
+                    if self.cache is not None:
+                        self.cache.store_observation(points[i], observation)
+                else:
+                    result_dict, seconds = item
                 result_dicts[i] = result_dict
                 report.computed += 1
                 report.busy_s += seconds
@@ -172,8 +250,12 @@ class SweepExecutor:
 
         for i, j in duplicate_of.items():
             result_dicts[i] = result_dicts[j]
+            observations[i] = observations[j]
 
         report.wall_s = time.perf_counter() - wall_start
         self.last_report = report
+        if self.observe:
+            self.last_observations = observations
+            self.session_observations.extend(observations)
         self.session.merge(report)
         return [BroadcastResult.from_dict(d) for d in result_dicts]

@@ -132,6 +132,72 @@ class TestReproCLI:
         )
         assert code == 2
 
+    def test_trace_json_flag_writes_valid_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "out.trace.json"
+        code = repro_main(
+            [
+                "--machine", "paragon:4x4", "--algorithm", "Br_Lin",
+                "--s", "4", "--trace-json", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        trace = json.loads(path.read_text())
+        assert trace["otherData"]["schema"] == "repro-trace/1"
+        assert trace["otherData"]["truncated"] is False
+        assert any(e["ph"] == "B" for e in trace["traceEvents"])
+
+    def test_trace_json_result_matches_plain_run(self, capsys, tmp_path):
+        """Tracing must not change the reported completion time."""
+        argv = ["--machine", "paragon:4x4", "--algorithm", "2-Step", "--s", "4"]
+        assert repro_main(argv) == 0
+        plain = capsys.readouterr().out
+        path = tmp_path / "t.json"
+        assert repro_main(argv + ["--trace-json", str(path)]) == 0
+        traced = capsys.readouterr().out
+        line = next(l for l in plain.splitlines() if l.startswith("time:"))
+        assert line in traced
+
+
+class TestTraceCLI:
+    def test_trace_subcommand_rollup(self, capsys):
+        code = repro_main(
+            [
+                "trace", "--machine", "paragon:4x4", "--algorithm",
+                "Br_xy_dim", "--s", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "<- slowest" in out
+        assert "link utilization" in out
+        assert "rows" in out or "cols" in out
+
+    def test_trace_subcommand_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code = repro_main(
+            [
+                "trace", "--machine", "paragon:4x4", "--s", "4",
+                "--json", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        trace = json.loads(path.read_text())
+        assert trace["otherData"]["schema"] == "repro-trace/1"
+        assert "label" in trace["otherData"]
+
+    def test_trace_subcommand_bad_machine_is_graceful(self, capsys):
+        code = repro_main(["trace", "--machine", "bogus:9"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestBenchCLI:
     def test_list(self, capsys):
@@ -149,6 +215,16 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "Figure 1" in out
         assert "PASS" in out
+
+    def test_quick_observe_prints_rollup(self, capsys, tmp_path):
+        code = bench_main(
+            ["--quick", "--observe", "--cache-dir", str(tmp_path), "fig2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "observed points:" in out
+        assert "slowest phase" in out
+        assert "hottest links:" in out
 
     def test_registry_complete(self):
         table = available_experiments()

@@ -82,6 +82,25 @@ class TestHotspotVisualizer:
         assert "rrrr" in out
 
 
+class TestTraceExplorer:
+    def test_diagnoses_both_variants(self):
+        out = run_example("trace_explorer.py")
+        assert "Br_xy_dim" in out and "Br_xy_source" in out
+        assert "<- slowest" in out
+        assert "link utilization" in out
+        assert "Figure-6 effect" in out
+
+    def test_json_flag_writes_chrome_trace(self, tmp_path):
+        import json
+
+        path = tmp_path / "dim.trace.json"
+        out = run_example("trace_explorer.py", "--json", str(path))
+        assert f"wrote {path}" in out
+        trace = json.loads(path.read_text())
+        assert trace["otherData"]["schema"] == "repro-trace/1"
+        assert trace["otherData"]["label"].startswith("Br_xy_dim")
+
+
 @pytest.mark.slow
 class TestDynamicBroadcasting:
     def test_full_session_narrative(self):

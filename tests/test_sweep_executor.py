@@ -1,4 +1,4 @@
-"""Executor configuration tests: worker-count resolution."""
+"""Executor configuration tests: worker-count resolution, observation."""
 
 from __future__ import annotations
 
@@ -6,7 +6,9 @@ import warnings
 
 import pytest
 
-from repro.sweep.executor import JOBS_ENV_VAR, resolve_jobs
+from repro.sweep.cache import ResultCache
+from repro.sweep.executor import JOBS_ENV_VAR, SweepExecutor, resolve_jobs
+from repro.sweep.spec import SweepPoint
 
 
 class TestResolveJobs:
@@ -42,3 +44,104 @@ class TestResolveJobs:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_jobs(None) == 2
+
+
+def _point(algorithm="Br_Lin", seed=0):
+    return SweepPoint(
+        machine="paragon:4x4",
+        sources=(0, 1, 2, 3),
+        message_size=512,
+        algorithm=algorithm,
+        seed=seed,
+        distribution="R",
+    )
+
+
+class TestObserve:
+    """The ``observe=`` axis: summaries attach beside, never inside."""
+
+    def test_observations_attach_per_point(self):
+        executor = SweepExecutor(jobs=1, observe=True)
+        points = [_point(), _point("2-Step")]
+        results = executor.run(points)
+        assert len(results) == 2
+        obs = executor.last_observations
+        assert obs is not None and len(obs) == 2
+        assert obs[0]["algorithm"] == "Br_Lin"
+        assert obs[0]["distribution"] == "R"
+        assert obs[0]["machine"] == "paragon:4x4"
+        assert obs[0]["summary"]["slowest_phase"] == "halving"
+        assert executor.session_observations == obs
+
+    def test_observe_off_leaves_no_observations(self):
+        executor = SweepExecutor(jobs=1)
+        executor.run([_point()])
+        assert executor.last_observations is None
+        assert executor.session_observations == []
+
+    def test_cache_key_neutral(self, tmp_path):
+        """Observed and unobserved sweeps share entries bit-for-bit."""
+        plain = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "a"))
+        observed = SweepExecutor(
+            jobs=1, cache=ResultCache(tmp_path / "b"), observe=True
+        )
+        point = _point()
+        plain.run([point])
+        observed.run([point])
+        entry_a = plain.cache.path_for(point.key())
+        entry_b = observed.cache.path_for(point.key())
+        json_a = entry_a.read_text()
+        json_b = entry_b.read_text()
+        # compute_s differs per run; everything else must match exactly.
+        import json as json_module
+
+        a = json_module.loads(json_a)
+        b = json_module.loads(json_b)
+        a.pop("compute_s")
+        b.pop("compute_s")
+        assert a == b
+        # The observation landed in a sibling file, not the entry.
+        assert observed.cache.obs_path_for(point.key()).exists()
+        assert not plain.cache.obs_path_for(point.key()).exists()
+
+    def test_hit_without_observation_is_served_not_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        SweepExecutor(jobs=1, cache=cache).run([point])
+        executor = SweepExecutor(jobs=1, cache=cache, observe=True)
+        results = executor.run([point])
+        assert executor.last_report.cached == 1
+        assert executor.last_report.computed == 0
+        assert executor.last_observations == [None]
+        assert results[0].algorithm == "Br_Lin"
+
+    def test_observation_round_trips_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        first = SweepExecutor(jobs=1, cache=cache, observe=True)
+        first.run([point])
+        stored = first.last_observations[0]
+        second = SweepExecutor(jobs=1, cache=cache, observe=True)
+        second.run([point])
+        assert second.last_report.cached == 1
+        assert second.last_observations == [stored]
+
+    def test_duplicates_share_observations(self):
+        executor = SweepExecutor(jobs=1, observe=True)
+        point = _point()
+        executor.run([point, point])
+        assert executor.last_report.computed == 1
+        obs = executor.last_observations
+        assert obs[0] is obs[1] and obs[0] is not None
+
+    def test_observed_results_match_unobserved(self):
+        """The observe axis never changes what a sweep returns."""
+        point = _point("Br_xy_dim")
+        (plain,) = SweepExecutor(jobs=1).run([point])
+        (observed,) = SweepExecutor(jobs=1, observe=True).run([point])
+        assert observed.to_dict() == plain.to_dict()
+
+    def test_len_excludes_observation_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache, observe=True).run([_point()])
+        assert len(cache) == 1

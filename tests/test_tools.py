@@ -1,0 +1,60 @@
+"""The docs CI gates in ``tools/`` work, and the repo passes them."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+
+
+def run_tool(name: str, *args: str) -> "subprocess.CompletedProcess":
+    return subprocess.run(
+        [sys.executable, str(TOOLS / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCheckDocstrings:
+    def test_repo_passes(self):
+        proc = run_tool("check_docstrings.py", str(REPO / "src"))
+        assert proc.returncode == 0, proc.stderr
+        assert "docstrings ok" in proc.stdout
+
+    def test_missing_docstring_fails(self, tmp_path):
+        (tmp_path / "documented.py").write_text('"""Has one."""\n')
+        (tmp_path / "bare.py").write_text("x = 1\n")
+        (tmp_path / "_private.py").write_text("y = 2\n")  # exempt
+        proc = run_tool("check_docstrings.py", str(tmp_path))
+        assert proc.returncode == 1
+        assert "bare.py" in proc.stderr
+        assert "_private.py" not in proc.stderr
+
+
+class TestCheckLinks:
+    def test_repo_passes(self):
+        proc = run_tool("check_links.py", str(REPO))
+        assert proc.returncode == 0, proc.stderr
+        assert "links ok" in proc.stdout
+
+    def test_broken_link_fails(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "[good](docs/real.md) [bad](docs/missing.md)\n"
+        )
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "real.md").write_text("ok\n")
+        proc = run_tool("check_links.py", str(tmp_path))
+        assert proc.returncode == 1
+        assert "missing.md" in proc.stderr
+        assert "real.md" not in proc.stderr
+
+    def test_external_and_anchor_links_are_skipped(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "[web](https://example.com/x) [anchor](#section)\n"
+        )
+        proc = run_tool("check_links.py", str(tmp_path))
+        assert proc.returncode == 0

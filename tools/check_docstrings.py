@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI gate: every public module under ``src/repro`` has a module docstring.
+
+A module is *public* when no component of its dotted path starts with an
+underscore (``__init__`` and ``__main__`` are public: they are exactly
+the files a reader opens first).  Prints offenders and exits non-zero if
+any are found, so the docs CI job fails loudly instead of letting an
+undocumented module drift in.
+
+Run:  python tools/check_docstrings.py [src-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+
+def is_public(relative: pathlib.Path) -> bool:
+    for part in relative.with_suffix("").parts:
+        if part.startswith("_") and part not in ("__init__", "__main__"):
+            return False
+    return True
+
+
+def missing_docstrings(root: pathlib.Path) -> list:
+    """Public modules under ``root`` with no module docstring."""
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if not is_public(relative):
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            offenders.append(relative)
+    return offenders
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path("src")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    offenders = missing_docstrings(root)
+    if offenders:
+        print("public modules missing a module docstring:", file=sys.stderr)
+        for relative in offenders:
+            print(f"  {root / relative}", file=sys.stderr)
+        return 1
+    checked = sum(
+        1 for p in root.rglob("*.py") if is_public(p.relative_to(root))
+    )
+    print(f"docstrings ok: {checked} public modules checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI gate: intra-repo markdown links resolve to real files.
+
+Scans the repo's user-facing markdown (README, EXPERIMENTS, DESIGN,
+ROADMAP, everything under ``docs/``) for ``[text](target)`` links and
+checks every *relative* target against the filesystem.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped — this is a link-rot gate for the repo's own structure, not
+a web crawler.
+
+Run:  python tools/check_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Markdown files checked (relative to the repo root; missing ones skip).
+DEFAULT_FILES = ("README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md")
+
+#: ``[text](target)`` — non-greedy text, target up to the closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files(root: pathlib.Path) -> list:
+    files = [root / name for name in DEFAULT_FILES if (root / name).is_file()]
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def broken_links(root: pathlib.Path) -> list:
+    """``(file, target)`` pairs whose relative target does not exist."""
+    broken = []
+    for path in markdown_files(root):
+        text = path.read_text()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((path.relative_to(root), target))
+    return broken
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path(".")
+    files = markdown_files(root)
+    if not files:
+        print(f"error: no markdown files found under {root}", file=sys.stderr)
+        return 2
+    broken = broken_links(root)
+    if broken:
+        print("broken intra-repo markdown links:", file=sys.stderr)
+        for source, target in broken:
+            print(f"  {source}: ({target})", file=sys.stderr)
+        return 1
+    print(f"links ok: {len(files)} markdown files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
