@@ -95,6 +95,16 @@ def main(argv: List[str] | None = None) -> int:
         help="capture a full trace and write Chrome trace-event JSON here",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "event", "fast"),
+        default="auto",
+        help=(
+            "simulation engine: auto picks the vectorized fast path for "
+            "clean runs and the event engine otherwise; results are "
+            "bit-identical either way (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -138,7 +148,9 @@ def main(argv: List[str] | None = None) -> int:
                 if args.cache_dir and not args.no_cache
                 else None
             )
-            executor = SweepExecutor(jobs=args.jobs, cache=cache)
+            executor = SweepExecutor(
+                jobs=args.jobs, cache=cache, engine=args.engine
+            )
             point = SweepPoint.from_problem(
                 problem,
                 algorithm,
@@ -159,6 +171,7 @@ def main(argv: List[str] | None = None) -> int:
                 problem, algorithm, seed=args.seed, tracer=tracer,
                 faults=args.faults,
                 recover=args.recover and args.faults is not None,
+                engine=args.engine,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -40,12 +40,13 @@ def build_executor(
     cache_dir: Optional[str],
     no_cache: bool,
     observe: bool = False,
+    engine: str = "auto",
 ) -> SweepExecutor:
     """Executor for the CLI flags (``--no-cache`` wins over ``--cache-dir``)."""
     cache = None
     if not no_cache and cache_dir:
         cache = ResultCache(cache_dir)
-    return SweepExecutor(jobs=jobs, cache=cache, observe=observe)
+    return SweepExecutor(jobs=jobs, cache=cache, observe=observe, engine=engine)
 
 
 def available_experiments() -> Dict[str, Callable[[bool], FigureResult]]:
@@ -120,7 +121,23 @@ def main(argv: List[str] | None = None) -> int:
             "hottest links); cache keys are unaffected"
         ),
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "event", "fast"),
+        default="auto",
+        help=(
+            "simulation engine for computed grid points; results are "
+            "bit-identical across engines and cache keys are unaffected "
+            "(default: %(default)s)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.observe and args.engine == "fast":
+        print(
+            "--observe needs the event engine; use --engine auto or event",
+            file=sys.stderr,
+        )
+        return 2
 
     table = available_experiments()
     if args.experiments == ["list"] or args.experiments == []:
@@ -138,7 +155,11 @@ def main(argv: List[str] | None = None) -> int:
         return 2
 
     executor = build_executor(
-        args.jobs, args.cache_dir, args.no_cache, observe=args.observe
+        args.jobs,
+        args.cache_dir,
+        args.no_cache,
+        observe=args.observe,
+        engine=args.engine,
     )
     failed: List[str] = []
     with use_executor(executor):

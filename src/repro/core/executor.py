@@ -28,22 +28,17 @@ actual simulated communication, independent of
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Generator, List, Optional, Set
 
-from repro.core.schedule import Schedule, _phase_of_label
+from repro.core.schedule import RoundPlan, Schedule
 from repro.errors import PeerFailedError
 from repro.mpsim.comm import Comm
 
 __all__ = ["ScheduleExecutor"]
 
-#: One rank's slice of one round, fully resolved at plan-build time:
-#: ``(round_idx, phase, collective, mpi, sends, recvs)`` where sends
-#: are ``(dst, msgset, nbytes)`` triples and recvs are source ranks.
-#: ``phase`` is the round's observability span name (see
-#: :meth:`~repro.core.schedule.Schedule.span`).
-_RoundPlan = Tuple[
-    int, str, bool, bool, List[Tuple[int, Any, int]], List[int]
-]
+#: Backwards-compatible alias; the plan type now lives with the
+#: schedule IR (see :data:`repro.core.schedule.RoundPlan`).
+_RoundPlan = RoundPlan
 
 
 class ScheduleExecutor:
@@ -68,19 +63,10 @@ class ScheduleExecutor:
         #: stalled by injected faults leave their entry at whatever
         #: subset they had actually combined when the run ended.
         self.holdings: List[Optional[Set[int]]] = [None] * p
-        self._plan: List[List[_RoundPlan]] = [[] for _ in range(p)]
-        for round_idx, rnd in enumerate(schedule.rounds):
-            phase = rnd.phase or _phase_of_label(rnd.label)
-            touched: Dict[int, Tuple[List[Tuple[int, Any, int]], List[int]]] = {}
-            for t in rnd:
-                touched.setdefault(t.src, ([], []))[0].append(
-                    (t.dst, t.msgset, t.nbytes(self.problem))
-                )
-                touched.setdefault(t.dst, ([], []))[1].append(t.src)
-            for rank, (sends, recvs) in touched.items():
-                self._plan[rank].append(
-                    (round_idx, phase, rnd.collective, rnd.mpi, sends, recvs)
-                )
+        # Shared lowering: the fastpath evaluator consumes the same
+        # per-rank round plans, so both executors issue operations in
+        # provably identical order.
+        self._plan: List[List[RoundPlan]] = schedule.lowered()
 
     def program(self, comm: Comm) -> Generator[Any, Any, frozenset]:
         """The SPMD program for ``comm.rank``; returns its final holdings."""

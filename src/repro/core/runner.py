@@ -8,12 +8,19 @@ from typing import Any, Dict, Iterable, Optional, Tuple, Union
 from repro.core.executor import ScheduleExecutor
 from repro.core.problem import BroadcastProblem
 from repro.core.schedule import Schedule
-from repro.errors import VerificationError
+from repro.errors import (
+    ConfigurationError,
+    UnsupportedFastPathError,
+    VerificationError,
+)
 from repro.faults import FaultSchedule
 from repro.metrics.report import MetricsReport
 from repro.simulator.trace import Tracer
 
-__all__ = ["BroadcastResult", "run_broadcast"]
+__all__ = ["BroadcastResult", "run_broadcast", "ENGINES"]
+
+#: Valid ``run_broadcast(engine=...)`` values.
+ENGINES = ("auto", "event", "fast")
 
 
 @dataclass(frozen=True)
@@ -153,6 +160,7 @@ def run_broadcast(
     tracer: Optional[Tracer] = None,
     faults: Union[None, str, Iterable, FaultSchedule] = None,
     recover: bool = False,
+    engine: str = "auto",
 ) -> BroadcastResult:
     """Run ``algorithm`` on ``problem`` and return timing plus metrics.
 
@@ -191,15 +199,62 @@ def run_broadcast(
         ``recovery_rounds`` / ``recovery_time_us`` report the protocol's
         verdict and cost.  Ignored without ``faults`` (nothing to
         recover; the result stays byte-identical to a clean run).
+    engine:
+        Simulation engine selection: ``"auto"`` (default) replays clean
+        runs on the vectorized :mod:`repro.fastpath` and falls back to
+        the generator event engine whenever faults, recovery or tracing
+        are requested; ``"event"`` forces the event engine; ``"fast"``
+        forces the fast path and raises
+        :class:`~repro.errors.UnsupportedFastPathError` on runs it
+        cannot model.  Both engines produce bit-identical results, so
+        the choice never changes what a run returns — only how fast.
     """
     from repro.core.algorithms import get_algorithm  # local: avoid cycle
 
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
     fault_schedule = FaultSchedule.coerce(faults)
+    blockers = []
+    if fault_schedule is not None:
+        blockers.append("faults")
+    if recover:
+        blockers.append("recovery")
+    if tracer is not None:
+        blockers.append("tracing")
+    if engine == "fast" and blockers:
+        raise UnsupportedFastPathError(
+            f"engine='fast' does not support {', '.join(blockers)}; "
+            "use engine='auto' or engine='event'"
+        )
     schedule: Schedule = algorithm.build_schedule(problem)
     if validate:
         schedule.validate()
+    if engine == "fast" or (engine == "auto" and not blockers):
+        from repro.fastpath import evaluate_schedule  # local: avoid cycle
+
+        fast = evaluate_schedule(schedule, seed=seed, contention=contention)
+        if verify:
+            expected = problem.source_set
+            for rank, held in enumerate(schedule.holdings_after()):
+                if held != expected:
+                    missing = sorted(expected - held)
+                    raise VerificationError(
+                        f"{algorithm.name}: rank {rank} finished without "
+                        f"messages {missing[:8]} (simulated delivery check)"
+                    )
+        return BroadcastResult(
+            algorithm=schedule.algorithm or algorithm.name,
+            problem=problem,
+            elapsed_us=fast.elapsed_us,
+            metrics=fast.metrics,
+            num_rounds=schedule.num_rounds,
+            num_transfers=schedule.num_transfers,
+            link_utilization=fast.link_utilization,
+        )
     executor = ScheduleExecutor(schedule)
     result = problem.machine.run(
         executor.program,

@@ -19,6 +19,7 @@ __all__ = [
     "RecvTimeoutError",
     "MatchingError",
     "ConfigurationError",
+    "UnsupportedFastPathError",
     "DistributionError",
     "AlgorithmError",
     "VerificationError",
@@ -89,6 +90,18 @@ class MatchingError(CommError):
 
 class ConfigurationError(ReproError):
     """Invalid machine or experiment configuration."""
+
+
+class UnsupportedFastPathError(ConfigurationError):
+    """``engine="fast"`` was requested for a run the fast path cannot model.
+
+    The vectorized fast path replays clean runs only; fault injection,
+    recovery, and tracing all need the full generator engine.  Under
+    ``engine="auto"`` such runs silently fall back to the event engine;
+    asking for ``engine="fast"`` explicitly raises this instead, so a
+    benchmark script cannot believe it measured the fast path when it
+    did not.
+    """
 
 
 class DistributionError(ReproError):

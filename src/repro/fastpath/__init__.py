@@ -1,0 +1,31 @@
+"""Vectorized schedule fast path: batch evaluation without the event loop.
+
+The paper's algorithms compile to *static* schedules — every round,
+transfer, link path and software overhead is known before the clock
+starts.  This package exploits that staticness: :mod:`~.lowering` turns
+a built :class:`~repro.core.schedule.Schedule` into flat per-send numpy
+arrays (byte counts, overheads, copy costs, wormhole durations, link
+paths), and :mod:`~.evaluator` replays the resulting operation streams
+with a compact specialized dispatcher that reproduces the generator
+engine's event ordering **bit-for-bit** — same ``(time, seq)`` heap
+discipline, same float expressions, same metrics accumulation order —
+while skipping all generator, communicator, envelope and store
+machinery.
+
+Selection is wired through ``run_broadcast(engine=...)``: ``"auto"``
+takes this path whenever faults, recovery and tracing are off, and the
+49 golden sha256 fixtures plus the randomized differential harness
+(``tests/test_fastpath_differential.py``) pin the bit-identity claim.
+"""
+
+from repro.errors import UnsupportedFastPathError
+from repro.fastpath.evaluator import FastRunResult, evaluate_schedule
+from repro.fastpath.lowering import FastPlan, lower_schedule
+
+__all__ = [
+    "FastPlan",
+    "FastRunResult",
+    "UnsupportedFastPathError",
+    "evaluate_schedule",
+    "lower_schedule",
+]

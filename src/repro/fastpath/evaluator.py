@@ -1,0 +1,318 @@
+"""Batch replay of a lowered schedule, bit-identical to the event engine.
+
+The evaluator is a specialized discrete-event dispatcher over the
+:class:`~repro.fastpath.lowering.FastPlan` operation streams.  It
+replicates the generator engine's observable behaviour exactly — not
+merely equivalent results, the *same* results to the last float bit —
+by mirroring three engine disciplines:
+
+1. **Heap ordering.**  The engine breaks time ties by a global
+   monotonic sequence number, allocated on every ``Timeout`` creation
+   and every ``Event.succeed``.  The replay allocates its sequence
+   numbers at the same logical points: process starts (one per rank at
+   t=0), send-overhead timeouts, send completions, receive-match
+   wake-ups, and receive overhead+copy timeouts.  (The engine also
+   allocates one inert sequence number per finished process; those
+   events carry no callbacks and shift later numbers uniformly, so
+   skipping them preserves all relative order.)
+2. **Float expressions.**  Every virtual-time computation reuses the
+   engine's exact expression: completion events land at
+   ``t + (finish - t)`` (how ``succeed(delay=finish - now)`` schedules,
+   which may differ in the last bit from ``finish``), wormhole and
+   store-and-forward reservations run through the shared
+   :class:`~repro.network.wirestate.WireState` arithmetic, and the
+   vectorized duration formula keeps the fabric's association order.
+3. **Synchronous resumption order.**  A completion event first
+   delivers its message (possibly waking a parked receiver — a new
+   sequence number) and only then resumes a sender blocked on the
+   request — matching the engine's callback registration order.
+
+Receive matching is dynamic per-inbox FIFO — exactly the Store's
+non-overtaking ``(source, tag)`` semantics — so the replay stays
+faithful even when same-instant arrivals make static send→recv pairing
+ambiguous.
+
+Metrics go through a real :class:`~repro.metrics.counters.
+MetricsCollector`: per-rank accumulation order equals the heap pop
+order of that rank's operations, which is identical between engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import DeadlockError
+from repro.fastpath.lowering import (
+    OP_RECV,
+    OP_SEND,
+    FastPlan,
+    lower_schedule,
+)
+from repro.metrics.counters import MetricsCollector
+from repro.metrics.report import MetricsReport
+from repro.network.wirestate import WireState, link_path_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.schedule import Schedule
+
+__all__ = ["FastRunResult", "evaluate_schedule"]
+
+# Replay event codes (third element of each heap entry).
+_EV_START = 0
+_EV_SEND_ISSUE = 1
+_EV_COMPLETION = 2
+_EV_RECV_GOT = 3
+_EV_RECV_DONE = 4
+
+
+@dataclass(frozen=True)
+class FastRunResult:
+    """Outcome of one fast-path replay (mirrors the engine's RunResult)."""
+
+    elapsed_us: float
+    metrics: MetricsReport
+    link_utilization: float
+    num_sends: int
+
+
+def evaluate_schedule(
+    schedule: "Schedule",
+    *,
+    seed: int = 0,
+    contention: bool = True,
+    plan: Optional[FastPlan] = None,
+) -> FastRunResult:
+    """Replay ``schedule`` on its machine; returns timing plus metrics.
+
+    ``plan`` may carry a pre-lowered :class:`FastPlan` (the lowering is
+    seed-independent, so sweeps over seeds can share it).
+    """
+    import numpy as np
+
+    if plan is None:
+        plan = lower_schedule(schedule)
+    machine = schedule.problem.machine
+    params = machine.params
+    topology = machine.topology
+    p = plan.p
+    num_sends = plan.num_sends
+
+    # Bind the seed: rank placement, link paths, wire durations.
+    mapping = machine.build_mapping(seed)
+    node_of = mapping.node_of
+    nodes = [node_of(rank) for rank in range(p)]
+    send_src = plan.send_src
+    send_dst = plan.send_dst
+    send_nbytes = plan.send_nbytes
+    send_round = plan.send_round
+    send_ovh = plan.send_ovh
+    recv_total = plan.recv_total
+    recv_copy = plan.recv_copy
+    paths, hops = link_path_table(
+        topology,
+        [(nodes[send_src[i]], nodes[send_dst[i]]) for i in range(num_sends)],
+    )
+    nbytes_f = np.fromiter(send_nbytes, dtype=np.float64, count=num_sends)
+    store_forward = params.switching == "store_and_forward"
+    if store_forward:
+        # Per-link occupancy of one hop; the fabric's per-hop formula
+        # with a healthy (factor 1.0) link.
+        per_link = (params.t_hop + nbytes_f * params.t_byte).tolist()
+        durations = per_link  # unused, keeps the locals uniform
+    else:
+        # Wormhole path-hold duration, association order as in Fabric.
+        durations = (
+            params.route_setup + hops * params.t_hop + nbytes_f * params.t_byte
+        ).tolist()
+    route_setup = params.route_setup
+
+    wire = WireState(topology.num_links, 2 * topology.num_nodes)
+    reserve_path = wire.reserve_path
+    reserve_link = wire.reserve_link
+    metrics = MetricsCollector(p)
+    record_send = metrics.record_send
+    record_recv = metrics.record_recv
+
+    rank_ops = plan.rank_ops
+    op_ptr = [0] * p
+    finished = [False] * p
+    posted = [0.0] * p
+    matched = [-1] * p
+    pending_wait = [0.0] * p
+    parked: list = [None] * p
+    inbox: list = [[] for _ in range(p)]
+    completed = bytearray(num_sends)
+    waiter = [-1] * num_sends
+
+    heap: list = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    # Process-start events: one per rank at t=0, in rank order — the
+    # engine's Process.__init__ kick-start sequence numbers 0..p-1.
+    seq = 0
+    for rank in range(p):
+        push(heap, (0.0, seq, _EV_START, rank))
+        seq += 1
+
+    def issue(sid: int, t: float) -> int:
+        """Hand send ``sid`` to the fabric at ``t``; schedules completion."""
+        nonlocal seq
+        if store_forward:
+            pl = per_link[sid]
+            arrive = t + route_setup
+            first_start = None
+            for link in paths[sid]:
+                if contention:
+                    start, finish = reserve_link(link, arrive, pl)
+                else:
+                    start, finish = arrive, arrive + pl
+                if first_start is None:
+                    first_start = start
+                arrive = finish
+            start, finish = first_start, arrive
+        elif contention:
+            start, finish = reserve_path(paths[sid], t, durations[sid])
+        else:
+            start, finish = t, t + durations[sid]
+        record_send(
+            send_src[sid],
+            send_nbytes[sid],
+            start - t,
+            iteration=send_round[sid],
+            when=t,
+        )
+        # The engine schedules completions via succeed(delay=finish - now),
+        # so the heap time is t + (finish - t) — kept verbatim.
+        push(heap, (t + (finish - t), seq, _EV_COMPLETION, sid))
+        seq += 1
+        return sid
+
+    def advance(rank: int, t: float) -> None:
+        """Drive ``rank``'s operation stream until it suspends (or ends)."""
+        nonlocal seq
+        ops = rank_ops[rank]
+        n = len(ops)
+        i = op_ptr[rank]
+        while i < n:
+            op = ops[i]
+            code = op[0]
+            if code == OP_SEND:
+                sid = op[1]
+                ovh = send_ovh[sid]
+                if ovh > 0.0:
+                    # comm.isend: yield timeout(overhead), issue on resume.
+                    op_ptr[rank] = i + 1
+                    push(heap, (t + ovh, seq, _EV_SEND_ISSUE, sid))
+                    seq += 1
+                    return
+                issue(sid, t)
+                i += 1
+            elif code == OP_RECV:
+                src = op[1]
+                rnd = op[2]
+                posted[rank] = t
+                op_ptr[rank] = i + 1
+                box = inbox[rank]
+                for j, sid in enumerate(box):
+                    if send_src[sid] == src and send_round[sid] == rnd:
+                        # Buffered match: the Store claims the item and
+                        # fires the getter at the current instant (one
+                        # sequence number, via the calendar).
+                        matched[rank] = sid
+                        del box[j]
+                        push(heap, (t, seq, _EV_RECV_GOT, rank))
+                        seq += 1
+                        return
+                parked[rank] = (src, rnd)
+                return
+            else:  # OP_WAIT
+                sid = op[1]
+                if completed[sid]:
+                    i += 1
+                else:
+                    waiter[sid] = rank
+                    op_ptr[rank] = i + 1
+                    return
+        op_ptr[rank] = n
+        finished[rank] = True
+
+    now = 0.0
+    while heap:
+        now, _seq, code, arg = pop(heap)
+        if code == _EV_COMPLETION:
+            completed[arg] = 1
+            # Deliver first (the completion's first callback), which may
+            # wake a parked receiver — allocating its sequence number
+            # *before* any sender blocked on this request resumes.
+            dst = send_dst[arg]
+            pk = parked[dst]
+            if (
+                pk is not None
+                and pk[0] == send_src[arg]
+                and pk[1] == send_round[arg]
+            ):
+                parked[dst] = None
+                matched[dst] = arg
+                push(heap, (now, seq, _EV_RECV_GOT, dst))
+                seq += 1
+            else:
+                inbox[dst].append(arg)
+            w = waiter[arg]
+            if w >= 0:
+                waiter[arg] = -1
+                advance(w, now)
+        elif code == _EV_RECV_GOT:
+            rank = arg
+            sid = matched[rank]
+            wait = now - posted[rank]
+            total = recv_total[sid]
+            if total > 0.0:
+                # comm.recv: yield timeout(overhead + copy), then record.
+                pending_wait[rank] = wait
+                push(heap, (now + total, seq, _EV_RECV_DONE, rank))
+                seq += 1
+            else:
+                record_recv(
+                    rank,
+                    send_nbytes[sid],
+                    wait,
+                    recv_copy[sid],
+                    iteration=send_round[sid],
+                    when=now,
+                )
+                advance(rank, now)
+        elif code == _EV_RECV_DONE:
+            rank = arg
+            sid = matched[rank]
+            record_recv(
+                rank,
+                send_nbytes[sid],
+                pending_wait[rank],
+                recv_copy[sid],
+                iteration=send_round[sid],
+                when=now,
+            )
+            advance(rank, now)
+        elif code == _EV_SEND_ISSUE:
+            issue(arg, now)
+            advance(send_src[arg], now)
+        else:  # _EV_START
+            advance(arg, now)
+
+    blocked = [rank for rank in range(p) if not finished[rank]]
+    if blocked:
+        detail = ", ".join(f"rank{rank}" for rank in blocked[:16])
+        more = "" if len(blocked) <= 16 else f" (+{len(blocked) - 16} more)"
+        raise DeadlockError(
+            f"simulation deadlocked at t={now:.3f}us with "
+            f"{len(blocked)} blocked process(es): {detail}{more}"
+        )
+
+    return FastRunResult(
+        elapsed_us=now,
+        metrics=MetricsReport.from_collector(metrics),
+        link_utilization=wire.wire_utilization(now),
+        num_sends=num_sends,
+    )

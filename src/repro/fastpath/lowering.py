@@ -1,0 +1,143 @@
+"""Lowering: a :class:`~repro.core.schedule.Schedule` as flat arrays.
+
+The lowering consumes the same :meth:`Schedule.lowered` per-rank round
+plans as the generator executor, then flattens them into:
+
+* parallel per-send arrays — source, destination, byte count, round —
+  with every per-send cost the replay needs (sender overhead, receiver
+  overhead + combining copy) resolved by **vectorized** numpy
+  arithmetic over per-round parameter tables;
+* one operation stream per rank: ``(SEND, sid)``, ``(RECV, src,
+  round)`` and ``(WAIT, sid)`` tuples in exactly the order the
+  generator program issues them (all sends, then all receives, then
+  the send-completion waits — per round).
+
+Float discipline: every vectorized expression reproduces the scalar
+engine's evaluation order term by term (``(nbytes * t_mem_byte) *
+scale``, ``recv_overhead + copy``), and float64 elementwise ops are
+IEEE-754 identical to Python floats, so lowered costs are bit-equal to
+what :class:`~repro.mpsim.comm.Comm` would have computed one message at
+a time.  Receive matching stays *dynamic* in the evaluator (per-inbox
+FIFO, mirroring the Store), so the lowering records match predicates —
+``(source, round)`` — rather than presuming which send satisfies which
+receive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.schedule import Schedule
+
+__all__ = ["OP_SEND", "OP_RECV", "OP_WAIT", "FastPlan", "lower_schedule"]
+
+#: Operation stream opcodes (first element of each rank-op tuple).
+OP_SEND = 0
+OP_RECV = 1
+OP_WAIT = 2
+
+
+@dataclass
+class FastPlan:
+    """A schedule lowered to flat arrays, ready for batch replay.
+
+    All per-send lists are parallel (indexed by send id, in global
+    issue-plan order); costs are plain Python floats converted from the
+    vectorized float64 arrays (an exact conversion).  The plan is
+    seed-independent — link paths depend on the run's rank mapping and
+    are resolved by the evaluator at bind time.
+    """
+
+    p: int
+    num_sends: int
+    send_src: List[int]
+    send_dst: List[int]
+    send_nbytes: List[int]
+    send_round: List[int]
+    #: Sender software overhead charged before each send issues.
+    send_ovh: List[float]
+    #: Receiver-side overhead + combining copy for the matching receive.
+    recv_total: List[float]
+    #: The copy component alone (reported separately by the metrics).
+    recv_copy: List[float]
+    #: Per-rank operation streams of ``(OP_*, ...)`` tuples.
+    rank_ops: List[List[Tuple[int, ...]]]
+
+
+def lower_schedule(schedule: "Schedule") -> FastPlan:
+    """Lower ``schedule`` into a :class:`FastPlan`."""
+    import numpy as np
+
+    problem = schedule.problem
+    params = problem.machine.params
+    p = problem.p
+    plan = schedule.lowered()
+
+    send_src: List[int] = []
+    send_dst: List[int] = []
+    send_nbytes: List[int] = []
+    send_round: List[int] = []
+    rank_ops: List[List[Tuple[int, ...]]] = [[] for _ in range(p)]
+    for rank in range(p):
+        ops = rank_ops[rank]
+        for round_idx, _phase, _collective, _mpi, sends, recvs in plan[rank]:
+            first_sid = len(send_src)
+            for dst, _msgset, nbytes in sends:
+                sid = len(send_src)
+                send_src.append(rank)
+                send_dst.append(dst)
+                send_nbytes.append(nbytes)
+                send_round.append(round_idx)
+                ops.append((OP_SEND, sid))
+            for src in recvs:
+                ops.append((OP_RECV, src, round_idx))
+            for sid in range(first_sid, first_sid + len(sends)):
+                ops.append((OP_WAIT, sid))
+
+    # Per-round parameter tables (one scalar resolution per round), then
+    # one vectorized gather + elementwise pass over all sends.  The
+    # expressions mirror Comm.recv/params.copy_cost term order exactly.
+    rounds = schedule.rounds
+    num_rounds = len(rounds)
+    round_send_ovh = np.fromiter(
+        (
+            params.send_overhead(collective=r.collective, mpi=r.mpi)
+            for r in rounds
+        ),
+        dtype=np.float64,
+        count=num_rounds,
+    )
+    round_recv_ovh = np.fromiter(
+        (
+            params.recv_overhead(collective=r.collective, mpi=r.mpi)
+            for r in rounds
+        ),
+        dtype=np.float64,
+        count=num_rounds,
+    )
+    round_mem_scale = np.fromiter(
+        (params.collective_mem_scale if r.collective else 1.0 for r in rounds),
+        dtype=np.float64,
+        count=num_rounds,
+    )
+    num_sends = len(send_src)
+    ridx = np.fromiter(send_round, dtype=np.intp, count=num_sends)
+    nbytes_f = np.fromiter(send_nbytes, dtype=np.float64, count=num_sends)
+    send_ovh = round_send_ovh[ridx]
+    recv_copy = (nbytes_f * params.t_mem_byte) * round_mem_scale[ridx]
+    recv_total = round_recv_ovh[ridx] + recv_copy
+
+    return FastPlan(
+        p=p,
+        num_sends=num_sends,
+        send_src=send_src,
+        send_dst=send_dst,
+        send_nbytes=send_nbytes,
+        send_round=send_round,
+        send_ovh=send_ovh.tolist(),
+        recv_total=recv_total.tolist(),
+        recv_copy=recv_copy.tolist(),
+        rank_ops=rank_ops,
+    )

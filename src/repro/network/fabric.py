@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.network.topology import Topology
+from repro.network.wirestate import WireState
 from repro.simulator.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -138,10 +139,22 @@ class Fabric:
         self.injector = injector
         self.tracer = tracer
         self._lost = 0
-        self._free_at: List[float] = [0.0] * topology.num_links
-        self._busy_time: List[float] = [0.0] * topology.num_links
+        # Shared reservation core: the fastpath evaluator builds its own
+        # WireState over the same link id space, so both engines run the
+        # identical contention arithmetic (see repro.network.wirestate).
+        self._wire = WireState(topology.num_links, 2 * topology.num_nodes)
         self._transfers = 0
         self._total_wait = 0.0
+
+    @property
+    def _free_at(self) -> List[float]:
+        """Per-link earliest-free timestamps (wire-state view)."""
+        return self._wire.free_at
+
+    @property
+    def _busy_time(self) -> List[float]:
+        """Per-link accumulated busy time (wire-state view)."""
+        return self._wire.busy_time
 
     # -- core operation ---------------------------------------------------
     def transfer(self, src: int, dst: int, nbytes: int, now: float) -> TransferStats:
@@ -219,18 +232,7 @@ class Fabric:
         )
         if not self.contention:
             return now, now + duration
-        free_at = self._free_at
-        busy_time = self._busy_time
-        start = now
-        for link in path:
-            free = free_at[link]
-            if free > start:
-                start = free
-        finish = start + duration
-        for link in path:
-            free_at[link] = finish
-            busy_time[link] += duration
-        return start, finish
+        return self._wire.reserve_path(path, now, duration)
 
     def _transfer_store_and_forward(
         self, path: Sequence[int], nbytes: int, now: float
@@ -245,17 +247,17 @@ class Fabric:
         from per-link reservations.
         """
         injector = self.injector
+        wire = self._wire
         arrive = now + self.route_setup
         first_start = None
         for link in path:
             per_link = self.t_hop + nbytes * self.t_byte * (
                 1.0 if injector is None else injector.link_factor(link, now)
             )
-            start = max(arrive, self._free_at[link]) if self.contention else arrive
-            finish = start + per_link
             if self.contention:
-                self._free_at[link] = finish
-                self._busy_time[link] += per_link
+                start, finish = wire.reserve_link(link, arrive, per_link)
+            else:
+                start, finish = arrive, arrive + per_link
             if first_start is None:
                 first_start = start
             arrive = finish
@@ -284,14 +286,8 @@ class Fabric:
         ``until`` defaults to the latest reservation end; returns 0.0
         when nothing was transferred.
         """
-        n = self.topology.num_nodes
-        wire_busy = self._busy_time[2 * n :]
-        if not wire_busy:
-            return 0.0
-        horizon = until if until is not None else max(self._free_at, default=0.0)
-        if horizon <= 0.0:
-            return 0.0
-        return sum(wire_busy) / (len(wire_busy) * horizon)
+        horizon = until if until is not None else self._wire.max_free_at()
+        return self._wire.wire_utilization(horizon)
 
     def hottest_links(self, k: int = 5) -> List[tuple]:
         """The ``k`` busiest links as ``(busy_time, (u, v))`` pairs."""
@@ -306,8 +302,7 @@ class Fabric:
 
     def reset(self) -> None:
         """Clear all reservations and statistics."""
-        self._free_at = [0.0] * self.topology.num_links
-        self._busy_time = [0.0] * self.topology.num_links
+        self._wire.reset()
         self._transfers = 0
         self._lost = 0
         self._total_wait = 0.0

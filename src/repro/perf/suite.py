@@ -9,7 +9,11 @@ Three tiers, mirroring the simulator's layering:
 * ``run/…`` — whole ``run_broadcast`` points (schedule build,
   validation, simulation, verification) at the paper's operating
   points: PersAlltoAll / Br_xy_source / MPI_AllGather on the 8×8 and
-  16×16 Paragon.
+  16×16 Paragon.  These run with the default engine (``auto``), so
+  they measure the fast path on clean runs;
+* ``fastpath/…`` — explicit ``engine="fast"`` points and a Figure-3
+  style sweep, each also timing the event engine once so the report
+  records the engine speedup alongside the absolute number.
 
 ``quick=True`` (the CI smoke mode) drops the 16×16 points; the
 remaining benchmarks run with workloads identical to full mode, so
@@ -188,6 +192,88 @@ def _bench_point(
     )
 
 
+def _bench_fastpath_point(
+    algorithm: str, spec: str, s: int, message_size: int, repeats: int
+) -> BenchResult:
+    """One ``run_broadcast(engine="fast")`` point, with event-engine ref.
+
+    The event engine is timed with fewer repeats — it is only there to
+    record the speedup in ``extra``; the gated number is the fast
+    path's own wall clock.
+    """
+    machine = machine_from_spec(spec)
+    problem = BroadcastProblem(
+        machine=machine, sources=tuple(range(s)), message_size=message_size
+    )
+
+    timing = bench(
+        lambda: run_broadcast(problem, algorithm, engine="fast"),
+        repeats=repeats,
+        warmup=1,
+    )
+    event_timing = bench(
+        lambda: run_broadcast(problem, algorithm, engine="event"),
+        repeats=max(2, repeats - 3),
+        warmup=0,
+    )
+    result = run_broadcast(problem, algorithm, engine="fast")
+    return BenchResult(
+        name=f"fastpath/{algorithm}/{spec}/s={s}/L={message_size}",
+        wall_s=timing.best_s,
+        mean_s=timing.mean_s,
+        repeats=timing.repeats,
+        extra={
+            "event_s": event_timing.best_s,
+            "speedup_vs_event": event_timing.best_s / timing.best_s,
+            "elapsed_us": result.elapsed_us,
+            "transfers_per_s": result.num_transfers / timing.best_s,
+        },
+    )
+
+
+def _bench_fastpath_sweep(repeats: int) -> BenchResult:
+    """Figure-3 style sweep (10×10 Paragon, E, L=4K) on the fast path."""
+    from repro.sweep import SweepExecutor, SweepSpec
+
+    points = SweepSpec(
+        machines=("paragon:10x10",),
+        distributions=("E",),
+        s_values=(1, 10, 30, 60, 100),
+        message_sizes=(4096,),
+        algorithms=(
+            "Br_Lin",
+            "Br_xy_source",
+            "2-Step",
+            "PersAlltoAll",
+            "MPI_AllGather",
+        ),
+        seeds=(0,),
+    ).points()
+
+    timing = bench(
+        lambda: SweepExecutor(jobs=1, cache=None, engine="fast").run(points),
+        repeats=repeats,
+        warmup=1,
+    )
+    event_timing = bench(
+        lambda: SweepExecutor(jobs=1, cache=None, engine="event").run(points),
+        repeats=2,
+        warmup=0,
+    )
+    return BenchResult(
+        name="fastpath/fig3-sweep/paragon:10x10",
+        wall_s=timing.best_s,
+        mean_s=timing.mean_s,
+        repeats=timing.repeats,
+        extra={
+            "points": len(points),
+            "event_s": event_timing.best_s,
+            "speedup_vs_event": event_timing.best_s / timing.best_s,
+            "points_per_s": len(points) / timing.best_s,
+        },
+    )
+
+
 # -- suite definition ------------------------------------------------------
 
 _POINT_ALGOS = ("PersAlltoAll", "Br_xy_source", "MPI_AllGather")
@@ -228,6 +314,24 @@ def _definitions(quick: bool) -> List[Tuple[str, Callable[[], BenchResult]]]:
                     ),
                 )
             )
+    # Explicit fast-path points: same operating points as run/… but
+    # forced to engine="fast" (run/… rides auto, which already takes
+    # the fast path — these isolate it and record the engine speedup).
+    for spec, s, size in grid:
+        name = f"fastpath/PersAlltoAll/{spec}/s={s}/L={size}"
+        defs.append(
+            (
+                name,
+                lambda sp=spec, ss=s, sz=size: _bench_fastpath_point(
+                    "PersAlltoAll", sp, ss, sz, repeats
+                ),
+            )
+        )
+    if not quick:
+        defs.append(
+            ("fastpath/fig3-sweep/paragon:10x10",
+             lambda: _bench_fastpath_sweep(3))
+        )
     return defs
 
 

@@ -25,13 +25,15 @@ evaluation function in-process.
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.runner import BroadcastResult, run_broadcast
+from repro.core.runner import ENGINES, BroadcastResult, run_broadcast
+from repro.errors import ConfigurationError
 from repro.metrics.progress import SweepReport
 from repro.simulator.trace import Tracer
 from repro.sweep.cache import ResultCache
@@ -81,13 +83,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
-def evaluate_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+def evaluate_point(
+    payload: Dict[str, Any], engine: str = "auto"
+) -> Tuple[Dict[str, Any], float]:
     """Evaluate one point payload; returns ``(result_dict, seconds)``.
 
     Module-level (picklable) so it serves as the process-pool task; the
     serial path calls the very same function, which is what guarantees
     ``jobs=1`` and ``jobs=N`` take identical code paths through problem
     reconstruction and simulation.
+
+    ``engine`` selects the simulation engine (see
+    :func:`~repro.core.runner.run_broadcast`).  It rides alongside the
+    payload — never inside it — because engine choice cannot change a
+    result bit, so cache entries stay engine-agnostic.
     """
     point = SweepPoint.from_payload(payload)
     start = time.perf_counter()
@@ -98,6 +107,7 @@ def evaluate_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
         contention=point.contention,
         faults=point.faults,
         recover=point.recover,
+        engine=engine,
     )
     return result.to_dict(), time.perf_counter() - start
 
@@ -160,6 +170,13 @@ class SweepExecutor:
         cache hit whose entry predates observability yields ``None`` in
         :attr:`last_observations` — the result is served from cache
         unchanged rather than recomputed.
+    engine:
+        Simulation engine for computed points (``"auto"`` | ``"event"``
+        | ``"fast"``, see :func:`~repro.core.runner.run_broadcast`).
+        Engine choice is **cache-key neutral**: results are bit-identical
+        across engines, so sweeps with different engines share cache
+        entries.  Incompatible with ``observe=True`` when forced to
+        ``"fast"`` (tracing needs the event engine).
 
     Attributes
     ----------
@@ -179,10 +196,21 @@ class SweepExecutor:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         observe: bool = False,
+        engine: str = "auto",
     ) -> None:
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if observe and engine == "fast":
+            raise ConfigurationError(
+                "observe=True requires the event engine (tracing is not "
+                "supported by the fast path); use engine='auto' or 'event'"
+            )
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.observe = observe
+        self.engine = engine
         self.last_report: Optional[SweepReport] = None
         self.last_observations: Optional[List[Optional[Dict[str, Any]]]] = None
         #: With ``observe=True``: every observation across this
@@ -225,9 +253,15 @@ class SweepExecutor:
 
         if todo:
             payloads = [points[i].payload() for i in todo]
-            evaluate = (
-                evaluate_point_observed if self.observe else evaluate_point
-            )
+            if self.observe:
+                evaluate = evaluate_point_observed
+            else:
+                # functools.partial stays picklable for the process
+                # pool; the engine rides as an argument, never in the
+                # payload, keeping cache keys engine-free.
+                evaluate = functools.partial(
+                    evaluate_point, engine=self.engine
+                )
             if self.jobs > 1 and len(todo) > 1:
                 workers = min(self.jobs, len(todo))
                 with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -1,0 +1,116 @@
+"""Unit tests for the shared ``Schedule.lowered()`` round-plan lowering.
+
+Both executors consume the same lowering: the event engine's
+:class:`~repro.core.executor.ScheduleExecutor` builds its per-rank
+program from it, and :func:`repro.fastpath.lower_schedule` flattens it
+into operation streams.  These tests pin that the two consumers see
+*identical* plans — the extraction is the structural guarantee behind
+the engines' bit-identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.executor import ScheduleExecutor
+from repro.core.problem import BroadcastProblem
+from repro.fastpath.lowering import OP_RECV, OP_SEND, OP_WAIT, lower_schedule
+from repro.machines import machine_from_spec
+
+CASES = [
+    ("paragon:4x4", "PersAlltoAll", 4),
+    ("paragon:4x4", "Br_xy_source", 3),
+    ("t3d:16", "MPI_AllGather", 5),
+    ("t3d:16", "2-Step", 8),
+]
+
+
+def _schedule(spec: str, algorithm: str, s: int):
+    problem = BroadcastProblem(
+        machine=machine_from_spec(spec),
+        sources=tuple(range(s)),
+        message_size=512,
+    )
+    return get_algorithm(algorithm).build_schedule(problem)
+
+
+@pytest.mark.parametrize("spec,algorithm,s", CASES)
+def test_executor_plan_is_schedule_lowered(spec, algorithm, s):
+    """The event executor's per-rank plan IS the shared lowering."""
+    schedule = _schedule(spec, algorithm, s)
+    assert ScheduleExecutor(schedule)._plan == schedule.lowered()
+
+
+@pytest.mark.parametrize("spec,algorithm,s", CASES)
+def test_lowered_covers_every_transfer_once(spec, algorithm, s):
+    """Each transfer appears as exactly one send and one recv entry."""
+    schedule = _schedule(spec, algorithm, s)
+    plan = schedule.lowered()
+    assert len(plan) == schedule.problem.p
+    sends = sum(
+        len(entry[4]) for rank_plan in plan for entry in rank_plan
+    )
+    recvs = sum(
+        len(entry[5]) for rank_plan in plan for entry in rank_plan
+    )
+    assert sends == schedule.num_transfers
+    assert recvs == schedule.num_transfers
+    for rank_plan in plan:
+        rounds = [entry[0] for entry in rank_plan]
+        assert rounds == sorted(rounds), "round order must be preserved"
+
+
+@pytest.mark.parametrize("spec,algorithm,s", CASES)
+def test_fastpath_lowering_consumes_the_same_plan(spec, algorithm, s):
+    """The fast path's op streams are a flattening of ``lowered()``."""
+    schedule = _schedule(spec, algorithm, s)
+    plan = schedule.lowered()
+    fast = lower_schedule(schedule)
+    assert fast.p == schedule.problem.p
+    assert fast.num_sends == schedule.num_transfers
+    for rank in range(fast.p):
+        ops = fast.rank_ops[rank]
+        n_send = sum(1 for op in ops if op[0] == OP_SEND)
+        n_recv = sum(1 for op in ops if op[0] == OP_RECV)
+        n_wait = sum(1 for op in ops if op[0] == OP_WAIT)
+        exp_send = sum(len(e[4]) for e in plan[rank])
+        exp_recv = sum(len(e[5]) for e in plan[rank])
+        assert (n_send, n_recv, n_wait) == (exp_send, exp_recv, exp_send)
+        # Per-round send/recv structure mirrors the plan entry-by-entry:
+        # sends carry the entry's round index, recvs its (src, round).
+        i = 0
+        for entry in plan[rank]:
+            round_idx, _phase, _coll, _mpi, entry_sends, entry_recvs = entry
+            for _ in entry_sends:
+                assert ops[i][0] == OP_SEND
+                assert fast.send_round[ops[i][1]] == round_idx
+                i += 1
+            for src in entry_recvs:
+                assert ops[i] == (OP_RECV, src, round_idx)
+                i += 1
+            for _ in entry_sends:
+                assert ops[i][0] == OP_WAIT
+                i += 1
+        assert i == len(ops)
+
+
+def test_lowered_send_metadata_matches_transfers():
+    """Send (dst, msgset, nbytes) tuples carry the transfer's data."""
+    schedule = _schedule("paragon:4x4", "PersAlltoAll", 4)
+    plan = schedule.lowered()
+    by_rank = {rank: [] for rank in range(schedule.problem.p)}
+    for rnd_idx, rnd in enumerate(schedule.rounds):
+        for t in rnd:
+            by_rank[t.src].append(
+                (rnd_idx, t.dst, t.msgset, t.nbytes(schedule.problem))
+            )
+    got = {
+        rank: [
+            (entry[0], dst, msgset, nbytes)
+            for entry in plan[rank]
+            for dst, msgset, nbytes in entry[4]
+        ]
+        for rank in by_rank
+    }
+    assert got == by_rank

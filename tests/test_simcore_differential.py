@@ -32,7 +32,7 @@ def _canonical_hash(result) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def _run_point(key: str):
+def _run_point(key: str, engine: str = "auto"):
     spec, algorithm, s_part, L_part, seed_part = key.split("|")
     s = int(s_part.split("=")[1])
     L = int(L_part.split("=")[1])
@@ -42,18 +42,26 @@ def _run_point(key: str):
         sources=tuple(range(s)),
         message_size=L,
     )
-    return run_broadcast(problem, algorithm, seed=seed)
+    return run_broadcast(problem, algorithm, seed=seed, engine=engine)
 
 
+@pytest.mark.parametrize("engine", ["auto", "event", "fast"])
 @pytest.mark.parametrize("key", sorted(GOLDEN))
-def test_result_matches_golden(key):
+def test_result_matches_golden(key, engine):
+    """Every fixture point reproduces its digest under every engine.
+
+    The same sha256 values pin all three engine selections: the fast
+    path (``fast``, and ``auto`` on these clean runs) must be a
+    bit-identical rewrite of the event engine (``event``), with no
+    engine-specific fixture file.
+    """
     expect = GOLDEN[key]
     if "error" in expect:
         with pytest.raises(Exception) as excinfo:
-            _run_point(key)
+            _run_point(key, engine)
         assert type(excinfo.value).__name__ == expect["error"]
         return
-    result = _run_point(key)
+    result = _run_point(key, engine)
     assert result.elapsed_us == expect["elapsed_us"]
     assert result.num_transfers == expect["num_transfers"]
     assert _canonical_hash(result) == expect["sha256"]
