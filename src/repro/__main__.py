@@ -37,6 +37,32 @@ def parse_machine(spec: str) -> "repro.Machine":
     return machine_from_spec(spec)
 
 
+def _engine_line(requested: str, result: "repro.BroadcastResult") -> str:
+    """Human-readable execution provenance for the ``engine:`` line.
+
+    Direct runs carry it in ``result.debug``; results that crossed the
+    sweep executor's serialization boundary (worker process or cache)
+    lose the debug dict, so the line is reconstructed from the engine
+    request and run shape — the selection rule is deterministic — with
+    the kernel mode read from this process (workers share its
+    environment, so the mode matches).
+    """
+    debug = result.debug
+    if debug.get("engine") == "fast":
+        return (
+            f"fast (kernel={debug['kernel']}, "
+            f"plan-cache={debug['plan_cache']})"
+        )
+    if debug.get("engine") == "event":
+        return "event"
+    blocked = bool(result.faults_active) or result.recovered is not None
+    if requested == "event" or (requested == "auto" and blocked):
+        return "event"
+    from repro.fastpath import kernel_mode
+
+    return f"fast (kernel={kernel_mode()})"
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -180,6 +206,7 @@ def main(argv: List[str] | None = None) -> int:
     print(f"machine:    {machine.params.name}, p = {machine.p}")
     print(f"problem:    s = {problem.s}, L = {args.L} bytes "
           f"({distribution.name} distribution)")
+    print(f"engine:     {_engine_line(args.engine, result)}")
     print(f"time:       {result.elapsed_ms:.3f} ms")
     if result.faults_active:
         print(f"faults:     {'; '.join(result.faults_active)}")

@@ -37,6 +37,19 @@ class BroadcastAlgorithm(ABC):
         """Whether this algorithm can run on ``machine``."""
         return machine.is_mesh if self.requires_mesh else True
 
+    def schedule_depends_on_sizes(self, problem: BroadcastProblem) -> bool:
+        """Whether the compiled schedule's *structure* depends on sizes.
+
+        Most algorithms move whole source messages, so round structure
+        and transfer message sets are a pure function of (machine,
+        sources) and the fast path's plan cache may rebind one lowered
+        structure across message-size tables.  Algorithms that shape
+        the schedule itself by byte counts — segmenting, pipelining —
+        must return ``True`` so their plans are cached per size table
+        (the pipelined ``MPI_AllGather`` overrides this).
+        """
+        return False
+
     def check_supported(self, problem: BroadcastProblem) -> None:
         """Raise :class:`~repro.errors.AlgorithmError` when unsupported."""
         if not self.supports(problem.machine):

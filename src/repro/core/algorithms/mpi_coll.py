@@ -107,6 +107,12 @@ class MPIAllGather(BroadcastAlgorithm):
             problem, self.name, collective=True, mpi=True
         )
 
+    def schedule_depends_on_sizes(self, problem: BroadcastProblem) -> bool:
+        # The pipelined style segments each message by
+        # ``collective_segment_bytes``, so round count and transfer
+        # byte overrides change with the size table.
+        return problem.machine.params.collective_style == "pipelined"
+
 
 @register
 class MPIAlltoAll(BroadcastAlgorithm):

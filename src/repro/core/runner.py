@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.executor import ScheduleExecutor
@@ -54,6 +54,14 @@ class BroadcastResult:
     recovery_rounds: int = 0
     #: Virtual time the recovery pass took, on top of ``elapsed_us``.
     recovery_time_us: float = 0.0
+    #: Execution diagnostics: which engine ran, the fast path's kernel
+    #: mode (``jit``/``python``) and plan-cache verdict.  Diagnostic
+    #: only — excluded from equality, serialization (:meth:`to_dict`)
+    #: and therefore the sweep cache: engines and kernel modes are
+    #: bit-identical, so execution provenance must never split results.
+    debug: Dict[str, Any] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def elapsed_ms(self) -> float:
@@ -230,31 +238,38 @@ def run_broadcast(
             f"engine='fast' does not support {', '.join(blockers)}; "
             "use engine='auto' or engine='event'"
         )
-    schedule: Schedule = algorithm.build_schedule(problem)
-    if validate:
-        schedule.validate()
     if engine == "fast" or (engine == "auto" and not blockers):
-        from repro.fastpath import evaluate_schedule  # local: avoid cycle
+        import repro.fastpath as fastpath  # local: avoid cycle
 
-        fast = evaluate_schedule(schedule, seed=seed, contention=contention)
-        if verify:
-            expected = problem.source_set
-            for rank, held in enumerate(schedule.holdings_after()):
-                if held != expected:
-                    missing = sorted(expected - held)
-                    raise VerificationError(
-                        f"{algorithm.name}: rank {rank} finished without "
-                        f"messages {missing[:8]} (simulated delivery check)"
-                    )
+        # Schedule build, validation, lowering and the delivery check
+        # all live behind the plan cache — points sharing (machine,
+        # algorithm, sources) amortize them (see repro.fastpath.plancache).
+        outcome = fastpath.evaluate_problem(
+            problem,
+            algorithm,
+            seed=seed,
+            contention=contention,
+            validate=validate,
+            verify=verify,
+        )
+        fast = outcome.fast
         return BroadcastResult(
-            algorithm=schedule.algorithm or algorithm.name,
+            algorithm=outcome.algorithm,
             problem=problem,
             elapsed_us=fast.elapsed_us,
             metrics=fast.metrics,
-            num_rounds=schedule.num_rounds,
-            num_transfers=schedule.num_transfers,
+            num_rounds=outcome.num_rounds,
+            num_transfers=outcome.num_transfers,
             link_utilization=fast.link_utilization,
+            debug={
+                "engine": "fast",
+                "kernel": fast.kernel,
+                "plan_cache": outcome.plan_cache,
+            },
         )
+    schedule: Schedule = algorithm.build_schedule(problem)
+    if validate:
+        schedule.validate()
     executor = ScheduleExecutor(schedule)
     result = problem.machine.run(
         executor.program,
@@ -316,4 +331,5 @@ def run_broadcast(
         recovered=recovered,
         recovery_rounds=recovery_rounds,
         recovery_time_us=recovery_time_us,
+        debug={"engine": "event"},
     )

@@ -1,31 +1,60 @@
-"""Vectorized schedule fast path: batch evaluation without the event loop.
+"""Structure-of-arrays schedule fast path: kernel replay + plan cache.
 
 The paper's algorithms compile to *static* schedules — every round,
 transfer, link path and software overhead is known before the clock
-starts.  This package exploits that staticness: :mod:`~.lowering` turns
-a built :class:`~repro.core.schedule.Schedule` into flat per-send numpy
-arrays (byte counts, overheads, copy costs, wormhole durations, link
-paths), and :mod:`~.evaluator` replays the resulting operation streams
-with a compact specialized dispatcher that reproduces the generator
-engine's event ordering **bit-for-bit** — same ``(time, seq)`` heap
-discipline, same float expressions, same metrics accumulation order —
-while skipping all generator, communicator, envelope and store
-machinery.
+starts.  This package exploits that staticness in three layers:
+
+* :mod:`~.lowering` turns a built :class:`~repro.core.schedule.Schedule`
+  into a structure-of-arrays :class:`FastPlan` (contiguous int32/int64/
+  float64 arrays for op streams, per-send costs, round tables, inbox
+  segments, and CSR message sets), size-rebindable across message-length
+  sweeps;
+* :mod:`~.kernel` replays a bound plan in **one typed function** written
+  against the Python/numba common subset — compiled with ``numba.njit``
+  when available (``REPRO_FASTPATH_JIT``), executed as plain Python on
+  list views otherwise, both modes sharing the same arithmetic source —
+  reproducing the generator engine's event ordering **bit-for-bit**
+  (same ``(time, seq)`` heap discipline, same float expressions, same
+  metrics accumulation order);
+* :mod:`~.plancache` amortizes schedule build + validation + lowering
+  across sweep points that share the schedule-determining data
+  (machine spec, algorithm, source placement), rebinding sizes and
+  seeds per point.
 
 Selection is wired through ``run_broadcast(engine=...)``: ``"auto"``
 takes this path whenever faults, recovery and tracing are off, and the
 49 golden sha256 fixtures plus the randomized differential harness
-(``tests/test_fastpath_differential.py``) pin the bit-identity claim.
+(``tests/test_fastpath_differential.py``) pin the bit-identity claim
+for the kernel, the no-JIT fallback, and warm plan-cache replays alike.
+See ``docs/FASTPATH.md`` for the full contract.
 """
 
 from repro.errors import UnsupportedFastPathError
-from repro.fastpath.evaluator import FastRunResult, evaluate_schedule
+from repro.fastpath.evaluator import (
+    FastRunResult,
+    PlanBinding,
+    bind_plan,
+    evaluate_plan,
+    evaluate_plan_many,
+    evaluate_schedule,
+)
+from repro.fastpath.kernel import kernel_mode, kernel_status
 from repro.fastpath.lowering import FastPlan, lower_schedule
+from repro.fastpath.plancache import FastOutcome, evaluate_problem, plan_cache
 
 __all__ = [
+    "FastOutcome",
     "FastPlan",
     "FastRunResult",
+    "PlanBinding",
     "UnsupportedFastPathError",
+    "bind_plan",
+    "evaluate_plan",
+    "evaluate_plan_many",
+    "evaluate_problem",
     "evaluate_schedule",
+    "kernel_mode",
+    "kernel_status",
     "lower_schedule",
+    "plan_cache",
 ]

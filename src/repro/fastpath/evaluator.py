@@ -1,10 +1,17 @@
-"""Batch replay of a lowered schedule, bit-identical to the event engine.
+"""Batch replay of a lowered plan, bit-identical to the event engine.
 
-The evaluator is a specialized discrete-event dispatcher over the
-:class:`~repro.fastpath.lowering.FastPlan` operation streams.  It
-replicates the generator engine's observable behaviour exactly — not
-merely equivalent results, the *same* results to the last float bit —
-by mirroring three engine disciplines:
+The evaluator is the thin orchestration layer around the flat replay
+kernel (:mod:`repro.fastpath.kernel`): it binds a structure-of-arrays
+:class:`~repro.fastpath.lowering.FastPlan` to a run — seed-dependent
+rank placement, link paths, wire durations — allocates the kernel's
+working state in the containers the active kernel mode wants (plain
+lists for the pure-Python mode, contiguous numpy arrays for the JIT),
+invokes the kernel once, and reduces the flat metric accumulators into
+a :class:`~repro.metrics.report.MetricsReport`.
+
+The kernel replicates the generator engine's observable behaviour
+exactly — not merely equivalent results, the *same* results to the
+last float bit — by mirroring three engine disciplines:
 
 1. **Heap ordering.**  The engine breaks time ties by a global
    monotonic sequence number, allocated on every ``Timeout`` creation
@@ -19,9 +26,10 @@ by mirroring three engine disciplines:
    engine's exact expression: completion events land at
    ``t + (finish - t)`` (how ``succeed(delay=finish - now)`` schedules,
    which may differ in the last bit from ``finish``), wormhole and
-   store-and-forward reservations run through the shared
-   :class:`~repro.network.wirestate.WireState` arithmetic, and the
-   vectorized duration formula keeps the fabric's association order.
+   store-and-forward reservations repeat the
+   :class:`~repro.network.wirestate.WireState` arithmetic statement for
+   statement, and the vectorized duration formula keeps the fabric's
+   association order.
 3. **Synchronous resumption order.**  A completion event first
    delivers its message (possibly waking a parked receiver — a new
    sequence number) and only then resumes a sender blocked on the
@@ -32,275 +40,282 @@ non-overtaking ``(source, tag)`` semantics — so the replay stays
 faithful even when same-instant arrivals make static send→recv pairing
 ambiguous.
 
-Metrics go through a real :class:`~repro.metrics.counters.
-MetricsCollector`: per-rank accumulation order equals the heap pop
-order of that rank's operations, which is identical between engines.
+Metric reduction follows :meth:`MetricsReport.from_collector` term by
+term: per-rank float accumulation happens inside the kernel in global
+event order (identical between engines), and the report-level float
+sums here are plain left-to-right Python reductions in rank order —
+never pairwise numpy sums, which would differ in the last bits.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from repro.errors import DeadlockError
-from repro.fastpath.lowering import (
-    OP_RECV,
-    OP_SEND,
-    FastPlan,
-    lower_schedule,
-)
-from repro.metrics.counters import MetricsCollector
+from repro.fastpath import kernel as _kernel_mod
+from repro.fastpath.lowering import FastPlan, lower_schedule
 from repro.metrics.report import MetricsReport
-from repro.network.wirestate import WireState, link_path_table
+from repro.network.wirestate import flatten_link_paths, wire_utilization_from
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.schedule import Schedule
+    from repro.machines.machine import Machine
 
-__all__ = ["FastRunResult", "evaluate_schedule"]
-
-# Replay event codes (third element of each heap entry).
-_EV_START = 0
-_EV_SEND_ISSUE = 1
-_EV_COMPLETION = 2
-_EV_RECV_GOT = 3
-_EV_RECV_DONE = 4
+__all__ = [
+    "FastRunResult",
+    "PlanBinding",
+    "bind_plan",
+    "evaluate_plan",
+    "evaluate_plan_many",
+    "evaluate_schedule",
+]
 
 
 @dataclass(frozen=True)
 class FastRunResult:
-    """Outcome of one fast-path replay (mirrors the engine's RunResult)."""
+    """Outcome of one fast-path replay (mirrors the engine's RunResult).
+
+    ``kernel`` records which execution mode produced the result
+    (``"jit"`` or ``"python"``) — diagnostic only, both modes are
+    bit-identical; it is surfaced in ``BroadcastResult.debug`` and
+    never serialized.
+    """
 
     elapsed_us: float
     metrics: MetricsReport
     link_utilization: float
     num_sends: int
+    kernel: str = "python"
 
 
-def evaluate_schedule(
-    schedule: "Schedule",
+@dataclass
+class PlanBinding:
+    """A plan's seed-dependent link paths, resolved once per mapping.
+
+    ``path_flat`` / ``path_start`` are plain lists (the pure-Python
+    kernel's containers); :meth:`as_arrays` lazily builds and caches
+    the int32 views the JIT kernel consumes.  Bindings are reusable
+    across replays of the same (plan, rank mapping) — the plan cache
+    keeps one per seed class.
+    """
+
+    path_flat: List[int]
+    path_start: List[int]
+    hops: Any  # float64[num_sends] wire-hop counts
+    _arrays: Optional[Tuple[Any, Any]] = None
+
+    def as_arrays(self) -> Tuple[Any, Any]:
+        """``(path_flat, path_start)`` as cached int32 numpy arrays."""
+        if self._arrays is None:
+            import numpy as np
+
+            self._arrays = (
+                np.asarray(self.path_flat, dtype=np.int32),
+                np.asarray(self.path_start, dtype=np.int32),
+            )
+        return self._arrays
+
+
+def bind_plan(plan: FastPlan, machine: "Machine", seed: int) -> PlanBinding:
+    """Resolve ``plan``'s link paths under ``machine``'s ``seed`` mapping."""
+    mapping = machine.build_mapping(seed)
+    node_of = mapping.node_of
+    nodes = [node_of(rank) for rank in range(plan.p)]
+    send_src = plan.send_src
+    send_dst = plan.send_dst
+    path_flat, path_start, hops = flatten_link_paths(
+        machine.topology,
+        [
+            (nodes[int(send_src[i])], nodes[int(send_dst[i])])
+            for i in range(plan.num_sends)
+        ],
+    )
+    return PlanBinding(path_flat=path_flat, path_start=path_start, hops=hops)
+
+
+def evaluate_plan(
+    plan: FastPlan,
+    machine: "Machine",
     *,
     seed: int = 0,
     contention: bool = True,
-    plan: Optional[FastPlan] = None,
+    binding: Optional[PlanBinding] = None,
 ) -> FastRunResult:
-    """Replay ``schedule`` on its machine; returns timing plus metrics.
+    """Replay ``plan`` on ``machine``; returns timing plus metrics.
 
-    ``plan`` may carry a pre-lowered :class:`FastPlan` (the lowering is
-    seed-independent, so sweeps over seeds can share it).
+    ``binding`` may carry pre-resolved link paths for this (plan, rank
+    mapping) — pass it when replaying one plan many times (the plan
+    cache and :func:`evaluate_plan_many` do).
     """
     import numpy as np
 
-    if plan is None:
-        plan = lower_schedule(schedule)
-    machine = schedule.problem.machine
     params = machine.params
     topology = machine.topology
     p = plan.p
+    num_rounds = plan.num_rounds
     num_sends = plan.num_sends
 
-    # Bind the seed: rank placement, link paths, wire durations.
-    mapping = machine.build_mapping(seed)
-    node_of = mapping.node_of
-    nodes = [node_of(rank) for rank in range(p)]
-    send_src = plan.send_src
-    send_dst = plan.send_dst
-    send_nbytes = plan.send_nbytes
-    send_round = plan.send_round
-    send_ovh = plan.send_ovh
-    recv_total = plan.recv_total
-    recv_copy = plan.recv_copy
-    paths, hops = link_path_table(
-        topology,
-        [(nodes[send_src[i]], nodes[send_dst[i]]) for i in range(num_sends)],
-    )
-    nbytes_f = np.fromiter(send_nbytes, dtype=np.float64, count=num_sends)
+    if binding is None:
+        binding = bind_plan(plan, machine, seed)
+
+    nbytes_f = plan.send_nbytes.astype(np.float64)
     store_forward = params.switching == "store_and_forward"
     if store_forward:
         # Per-link occupancy of one hop; the fabric's per-hop formula
         # with a healthy (factor 1.0) link.
-        per_link = (params.t_hop + nbytes_f * params.t_byte).tolist()
-        durations = per_link  # unused, keeps the locals uniform
+        durations_a = params.t_hop + nbytes_f * params.t_byte
     else:
         # Wormhole path-hold duration, association order as in Fabric.
-        durations = (
-            params.route_setup + hops * params.t_hop + nbytes_f * params.t_byte
-        ).tolist()
-    route_setup = params.route_setup
-
-    wire = WireState(topology.num_links, 2 * topology.num_nodes)
-    reserve_path = wire.reserve_path
-    reserve_link = wire.reserve_link
-    metrics = MetricsCollector(p)
-    record_send = metrics.record_send
-    record_recv = metrics.record_recv
-
-    rank_ops = plan.rank_ops
-    op_ptr = [0] * p
-    finished = [False] * p
-    posted = [0.0] * p
-    matched = [-1] * p
-    pending_wait = [0.0] * p
-    parked: list = [None] * p
-    inbox: list = [[] for _ in range(p)]
-    completed = bytearray(num_sends)
-    waiter = [-1] * num_sends
-
-    heap: list = []
-    push = heapq.heappush
-    pop = heapq.heappop
-    # Process-start events: one per rank at t=0, in rank order — the
-    # engine's Process.__init__ kick-start sequence numbers 0..p-1.
-    seq = 0
-    for rank in range(p):
-        push(heap, (0.0, seq, _EV_START, rank))
-        seq += 1
-
-    def issue(sid: int, t: float) -> int:
-        """Hand send ``sid`` to the fabric at ``t``; schedules completion."""
-        nonlocal seq
-        if store_forward:
-            pl = per_link[sid]
-            arrive = t + route_setup
-            first_start = None
-            for link in paths[sid]:
-                if contention:
-                    start, finish = reserve_link(link, arrive, pl)
-                else:
-                    start, finish = arrive, arrive + pl
-                if first_start is None:
-                    first_start = start
-                arrive = finish
-            start, finish = first_start, arrive
-        elif contention:
-            start, finish = reserve_path(paths[sid], t, durations[sid])
-        else:
-            start, finish = t, t + durations[sid]
-        record_send(
-            send_src[sid],
-            send_nbytes[sid],
-            start - t,
-            iteration=send_round[sid],
-            when=t,
+        durations_a = (
+            params.route_setup + binding.hops * params.t_hop
+            + nbytes_f * params.t_byte
         )
-        # The engine schedules completions via succeed(delay=finish - now),
-        # so the heap time is t + (finish - t) — kept verbatim.
-        push(heap, (t + (finish - t), seq, _EV_COMPLETION, sid))
-        seq += 1
-        return sid
 
-    def advance(rank: int, t: float) -> None:
-        """Drive ``rank``'s operation stream until it suspends (or ends)."""
-        nonlocal seq
-        ops = rank_ops[rank]
-        n = len(ops)
-        i = op_ptr[rank]
-        while i < n:
-            op = ops[i]
-            code = op[0]
-            if code == OP_SEND:
-                sid = op[1]
-                ovh = send_ovh[sid]
-                if ovh > 0.0:
-                    # comm.isend: yield timeout(overhead), issue on resume.
-                    op_ptr[rank] = i + 1
-                    push(heap, (t + ovh, seq, _EV_SEND_ISSUE, sid))
-                    seq += 1
-                    return
-                issue(sid, t)
-                i += 1
-            elif code == OP_RECV:
-                src = op[1]
-                rnd = op[2]
-                posted[rank] = t
-                op_ptr[rank] = i + 1
-                box = inbox[rank]
-                for j, sid in enumerate(box):
-                    if send_src[sid] == src and send_round[sid] == rnd:
-                        # Buffered match: the Store claims the item and
-                        # fires the getter at the current instant (one
-                        # sequence number, via the calendar).
-                        matched[rank] = sid
-                        del box[j]
-                        push(heap, (t, seq, _EV_RECV_GOT, rank))
-                        seq += 1
-                        return
-                parked[rank] = (src, rnd)
-                return
-            else:  # OP_WAIT
-                sid = op[1]
-                if completed[sid]:
-                    i += 1
-                else:
-                    waiter[sid] = rank
-                    op_ptr[rank] = i + 1
-                    return
-        op_ptr[rank] = n
-        finished[rank] = True
+    num_links = topology.num_links
+    wire_offset = 2 * topology.num_nodes
+    inbox_cap = int(plan.inbox_base[p])
 
-    now = 0.0
-    while heap:
-        now, _seq, code, arg = pop(heap)
-        if code == _EV_COMPLETION:
-            completed[arg] = 1
-            # Deliver first (the completion's first callback), which may
-            # wake a parked receiver — allocating its sequence number
-            # *before* any sender blocked on this request resumes.
-            dst = send_dst[arg]
-            pk = parked[dst]
-            if (
-                pk is not None
-                and pk[0] == send_src[arg]
-                and pk[1] == send_round[arg]
-            ):
-                parked[dst] = None
-                matched[dst] = arg
-                push(heap, (now, seq, _EV_RECV_GOT, dst))
-                seq += 1
-            else:
-                inbox[dst].append(arg)
-            w = waiter[arg]
-            if w >= 0:
-                waiter[arg] = -1
-                advance(w, now)
-        elif code == _EV_RECV_GOT:
-            rank = arg
-            sid = matched[rank]
-            wait = now - posted[rank]
-            total = recv_total[sid]
-            if total > 0.0:
-                # comm.recv: yield timeout(overhead + copy), then record.
-                pending_wait[rank] = wait
-                push(heap, (now + total, seq, _EV_RECV_DONE, rank))
-                seq += 1
-            else:
-                record_recv(
-                    rank,
-                    send_nbytes[sid],
-                    wait,
-                    recv_copy[sid],
-                    iteration=send_round[sid],
-                    when=now,
-                )
-                advance(rank, now)
-        elif code == _EV_RECV_DONE:
-            rank = arg
-            sid = matched[rank]
-            record_recv(
-                rank,
-                send_nbytes[sid],
-                pending_wait[rank],
-                recv_copy[sid],
-                iteration=send_round[sid],
-                when=now,
-            )
-            advance(rank, now)
-        elif code == _EV_SEND_ISSUE:
-            issue(arg, now)
-            advance(send_src[arg], now)
-        else:  # _EV_START
-            advance(arg, now)
+    kernel = _kernel_mod.get_kernel()
+    mode = _kernel_mod.kernel_mode()
+    if mode == "jit":
+        i32 = np.int32
+        path_flat, path_start = binding.as_arrays()
+        free_at = np.zeros(num_links, dtype=np.float64)
+        busy_time = np.zeros(num_links, dtype=np.float64)
+        state = dict(
+            op_code=plan.op_code,
+            op_arg=plan.op_arg,
+            op_aux=plan.op_aux,
+            op_start=plan.op_start,
+            send_src=plan.send_src,
+            send_dst=plan.send_dst,
+            send_round=plan.send_round,
+            send_nbytes=plan.send_nbytes,
+            send_ovh=plan.send_ovh,
+            recv_total=plan.recv_total,
+            recv_copy=plan.recv_copy,
+            durations=durations_a,
+            path_flat=path_flat,
+            path_start=path_start,
+            free_at=free_at,
+            busy_time=busy_time,
+            inbox_store=np.zeros(inbox_cap, dtype=i32),
+            inbox_base=plan.inbox_base,
+            inbox_len=np.zeros(p, dtype=i32),
+            op_ptr=plan.op_start[:p].copy(),
+            finished=np.zeros(p, dtype=np.uint8),
+            posted=np.zeros(p, dtype=np.float64),
+            matched=np.full(p, -1, dtype=i32),
+            pending_wait=np.zeros(p, dtype=np.float64),
+            parked_src=np.full(p, -1, dtype=i32),
+            parked_round=np.full(p, -1, dtype=i32),
+            completed=np.zeros(num_sends, dtype=np.uint8),
+            waiter=np.full(num_sends, -1, dtype=i32),
+            m_sends=np.zeros(p, dtype=np.int64),
+            m_recvs=np.zeros(p, dtype=np.int64),
+            m_bytes_sent=np.zeros(p, dtype=np.int64),
+            m_bytes_recv=np.zeros(p, dtype=np.int64),
+            m_recv_wait=np.zeros(p, dtype=np.float64),
+            m_recv_wait_ct=np.zeros(p, dtype=np.int64),
+            m_link_wait=np.zeros(p, dtype=np.float64),
+            m_copy=np.zeros(p, dtype=np.float64),
+            m_iter_ops=np.zeros(p * num_rounds, dtype=np.int64),
+            m_iter_last=np.full(num_rounds, -1.0, dtype=np.float64),
+        )
+    else:
+        lists = plan.list_views()
+        free_at = [0.0] * num_links
+        busy_time = [0.0] * num_links
+        state = dict(
+            op_code=lists["op_code"],
+            op_arg=lists["op_arg"],
+            op_aux=lists["op_aux"],
+            op_start=lists["op_start"],
+            send_src=lists["send_src"],
+            send_dst=lists["send_dst"],
+            send_round=lists["send_round"],
+            send_nbytes=lists["send_nbytes"],
+            send_ovh=lists["send_ovh"],
+            recv_total=lists["recv_total"],
+            recv_copy=lists["recv_copy"],
+            durations=durations_a.tolist(),
+            path_flat=binding.path_flat,
+            path_start=binding.path_start,
+            free_at=free_at,
+            busy_time=busy_time,
+            inbox_store=[0] * inbox_cap,
+            inbox_base=lists["inbox_base"],
+            inbox_len=[0] * p,
+            op_ptr=lists["op_start"][:p],
+            finished=[0] * p,
+            posted=[0.0] * p,
+            matched=[-1] * p,
+            pending_wait=[0.0] * p,
+            parked_src=[-1] * p,
+            parked_round=[-1] * p,
+            completed=[0] * num_sends,
+            waiter=[-1] * num_sends,
+            m_sends=[0] * p,
+            m_recvs=[0] * p,
+            m_bytes_sent=[0] * p,
+            m_bytes_recv=[0] * p,
+            m_recv_wait=[0.0] * p,
+            m_recv_wait_ct=[0] * p,
+            m_link_wait=[0.0] * p,
+            m_copy=[0.0] * p,
+            m_iter_ops=[0] * (p * num_rounds),
+            m_iter_last=[-1.0] * num_rounds,
+        )
 
+    now = kernel(
+        p,
+        num_rounds,
+        state["op_code"],
+        state["op_arg"],
+        state["op_aux"],
+        state["op_start"],
+        state["send_src"],
+        state["send_dst"],
+        state["send_round"],
+        state["send_nbytes"],
+        state["send_ovh"],
+        state["recv_total"],
+        state["recv_copy"],
+        state["durations"],
+        state["path_flat"],
+        state["path_start"],
+        store_forward,
+        contention,
+        params.route_setup,
+        state["free_at"],
+        state["busy_time"],
+        state["inbox_store"],
+        state["inbox_base"],
+        state["inbox_len"],
+        state["op_ptr"],
+        state["finished"],
+        state["posted"],
+        state["matched"],
+        state["pending_wait"],
+        state["parked_src"],
+        state["parked_round"],
+        state["completed"],
+        state["waiter"],
+        state["m_sends"],
+        state["m_recvs"],
+        state["m_bytes_sent"],
+        state["m_bytes_recv"],
+        state["m_recv_wait"],
+        state["m_recv_wait_ct"],
+        state["m_link_wait"],
+        state["m_copy"],
+        state["m_iter_ops"],
+        state["m_iter_last"],
+    )
+    now = float(now)
+
+    finished = state["finished"]
     blocked = [rank for rank in range(p) if not finished[rank]]
     if blocked:
         detail = ", ".join(f"rank{rank}" for rank in blocked[:16])
@@ -312,7 +327,145 @@ def evaluate_schedule(
 
     return FastRunResult(
         elapsed_us=now,
-        metrics=MetricsReport.from_collector(metrics),
-        link_utilization=wire.wire_utilization(now),
+        metrics=_report_from_state(p, num_rounds, state),
+        link_utilization=wire_utilization_from(
+            state["busy_time"], wire_offset, now
+        ),
         num_sends=num_sends,
+        kernel=mode,
+    )
+
+
+def _report_from_state(p: int, num_rounds: int, state: dict) -> MetricsReport:
+    """Reduce the kernel's flat accumulators into a MetricsReport.
+
+    Reproduces :meth:`MetricsReport.from_collector` bit-for-bit:
+    integer reductions are exact in any order (numpy is fine); float
+    reductions are left-to-right Python sums in rank order; divisions
+    see the exact same integer operands the collector's dicts would
+    have produced.
+    """
+    import numpy as np
+
+    ops_mat = np.asarray(state["m_iter_ops"], dtype=np.int64)
+    ops_mat = ops_mat.reshape(p, num_rounds) if num_rounds else ops_mat.reshape(p, 0)
+    active_mask = ops_mat > 0
+    #: Per-iteration count of active ranks (the active_by_iter sizes).
+    iter_active = active_mask.sum(axis=0)
+    iterations = int((iter_active > 0).sum())
+    congestion = int(ops_mat.max()) if ops_mat.size else 0
+
+    m_sends = state["m_sends"]
+    m_recvs = state["m_recvs"]
+    m_bytes_sent = state["m_bytes_sent"]
+    m_bytes_recv = state["m_bytes_recv"]
+    m_recv_wait_ct = state["m_recv_wait_ct"]
+    rank_active = active_mask.sum(axis=1)
+
+    wait_count = 0
+    ops = 0
+    av_msg = 0.0
+    for r in range(p):
+        wc = int(m_recv_wait_ct[r])
+        if wc > wait_count:
+            wait_count = wc
+        total_ops = int(m_sends[r]) + int(m_recvs[r])
+        if total_ops > ops:
+            ops = total_ops
+        active_iters = int(rank_active[r])
+        if active_iters:
+            # sum(msg_lengths) == bytes_sent + bytes_received (ints, so
+            # exact); the int/int division is the collector's.
+            val = (int(m_bytes_sent[r]) + int(m_bytes_recv[r])) / active_iters
+            if val > av_msg:
+                av_msg = val
+    if iterations:
+        av_act = int(iter_active.sum()) / iterations
+    else:
+        av_act = 0.0
+
+    m_recv_wait = state["m_recv_wait"]
+    m_link_wait = state["m_link_wait"]
+    m_copy = state["m_copy"]
+    total_recv_wait = 0.0
+    total_link_wait = 0.0
+    total_copy = 0.0
+    for r in range(p):
+        total_recv_wait += m_recv_wait[r]
+        total_link_wait += m_link_wait[r]
+        total_copy += m_copy[r]
+
+    m_iter_last = state["m_iter_last"]
+    iteration_times = tuple(
+        (it, float(m_iter_last[it]))
+        for it in range(num_rounds)
+        if iter_active[it]
+    )
+
+    return MetricsReport(
+        p=p,
+        iterations=iterations,
+        congestion=congestion,
+        wait_count=wait_count,
+        send_recv_ops=ops,
+        av_msg_lgth=float(av_msg),
+        av_act_proc=float(av_act),
+        total_messages=int(sum(int(v) for v in m_sends)),
+        total_bytes=int(sum(int(v) for v in m_bytes_sent)),
+        total_recv_wait=float(total_recv_wait),
+        total_link_wait=float(total_link_wait),
+        total_copy_time=float(total_copy),
+        iteration_times=iteration_times,
+    )
+
+
+def evaluate_plan_many(
+    plan: FastPlan,
+    machine: "Machine",
+    runs: Iterable[Tuple[int, bool]],
+) -> List[FastRunResult]:
+    """Replay ``plan`` for many ``(seed, contention)`` runs.
+
+    The batched entry: link-path bindings are resolved once per
+    distinct rank mapping (a single binding covers every seed on
+    machines with seed-independent placement) and every replay reuses
+    the plan's list/array views — no re-lowering, no re-pickling.
+    """
+    bindings: dict = {}
+    stable = machine.topology_stable_ranks
+    out: List[FastRunResult] = []
+    for seed, contention in runs:
+        bkey = 0 if stable else seed
+        binding = bindings.get(bkey)
+        if binding is None:
+            binding = bindings[bkey] = bind_plan(plan, machine, seed)
+        out.append(
+            evaluate_plan(
+                plan, machine, seed=seed, contention=contention, binding=binding
+            )
+        )
+    return out
+
+
+def evaluate_schedule(
+    schedule: "Schedule",
+    *,
+    seed: int = 0,
+    contention: bool = True,
+    plan: Optional[FastPlan] = None,
+) -> FastRunResult:
+    """Replay ``schedule`` on its machine; returns timing plus metrics.
+
+    Convenience entry lowering on the fly; ``plan`` may carry the
+    pre-lowered :class:`FastPlan` (the lowering is seed-independent, so
+    sweeps over seeds can share it).  Cached, repeated evaluation goes
+    through :mod:`repro.fastpath.plancache` instead.
+    """
+    if plan is None:
+        plan = lower_schedule(schedule)
+    return evaluate_plan(
+        plan,
+        schedule.problem.machine,
+        seed=seed,
+        contention=contention,
     )

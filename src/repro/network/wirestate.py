@@ -21,7 +21,32 @@ from typing import TYPE_CHECKING, List, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.topology import Topology
 
-__all__ = ["WireState", "link_path_table"]
+__all__ = [
+    "WireState",
+    "link_path_table",
+    "flatten_link_paths",
+    "wire_utilization_from",
+]
+
+
+def wire_utilization_from(
+    busy_time: Sequence[float], wire_offset: int, horizon: float
+) -> float:
+    """Mean busy fraction of wire links over ``[0, horizon]``.
+
+    The shared reduction behind :meth:`WireState.wire_utilization` and
+    the fast-path kernel's flat ``busy_time`` array: a plain
+    left-to-right sum over the wire-link tail of ``busy_time`` — part
+    of the bit-identity contract between the engines (pairwise
+    summation would differ in the last bits).  Returns 0.0 for empty
+    horizons or wire-less topologies.
+    """
+    wire_busy = busy_time[wire_offset:]
+    if len(wire_busy) == 0:
+        return 0.0
+    if horizon <= 0.0:
+        return 0.0
+    return float(sum(wire_busy) / (len(wire_busy) * horizon))
 
 
 class WireState:
@@ -88,12 +113,7 @@ class WireState:
         busy-time sum is a plain Python left-to-right reduction — part
         of the bit-identity contract between the two consumers.
         """
-        wire_busy = self.busy_time[self.wire_offset:]
-        if not wire_busy:
-            return 0.0
-        if horizon <= 0.0:
-            return 0.0
-        return sum(wire_busy) / (len(wire_busy) * horizon)
+        return wire_utilization_from(self.busy_time, self.wire_offset, horizon)
 
     def max_free_at(self) -> float:
         """Latest reservation end across all links (0.0 when untouched)."""
@@ -124,3 +144,32 @@ def link_path_table(
         (len(path) - 2 for path in paths), dtype=np.float64, count=len(paths)
     )
     return paths, hops
+
+
+def flatten_link_paths(
+    topology: "Topology", pairs: Sequence[Tuple[int, int]]
+) -> Tuple[List[int], List[int], "object"]:
+    """Resolve node pairs to one flat link-id stream plus segment starts.
+
+    The structure-of-arrays companion of :func:`link_path_table`:
+    ``path_flat[path_start[i]:path_start[i + 1]]`` is the memoized
+    link-id path (injection channel, wire links, ejection channel) for
+    ``pairs[i]``, and ``hops`` is the float64 wire-hop array
+    (``len(path) - 2``) the vectorized wormhole duration formula
+    consumes.  ``path_flat`` / ``path_start`` come back as plain lists:
+    the pure-Python kernel indexes them directly and the JIT bind step
+    converts them to int32 arrays once.
+    """
+    import numpy as np
+
+    route_links = topology.route_links
+    path_flat: List[int] = []
+    path_start: List[int] = [0]
+    hop_counts: List[int] = []
+    for src, dst in pairs:
+        path = route_links(src, dst)
+        path_flat.extend(path)
+        path_start.append(len(path_flat))
+        hop_counts.append(len(path) - 2)
+    hops = np.fromiter(hop_counts, dtype=np.float64, count=len(hop_counts))
+    return path_flat, path_start, hops

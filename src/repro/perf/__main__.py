@@ -91,8 +91,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {out} ({len(report['benchmarks'])} benchmarks)")
     for bench_dict in report["benchmarks"]:
         eps = bench_dict.get("events_per_s")
-        eps_txt = f"  {eps:>12.0f} events/s" if eps else ""
-        print(f"  {bench_dict['name']:<44} {bench_dict['wall_s']:>9.4f}s{eps_txt}")
+        extra_txt = f"  {eps:>12.0f} events/s" if eps else ""
+        extra = bench_dict.get("extra", {})
+        if "replay_s" in extra:
+            # Fast-path rows: warm replay is the gated wall_s; show how
+            # much the plan cache shaves off a cold (lower + replay) run.
+            extra_txt += (
+                f"  [replay {extra['replay_s']:.4f}s"
+                f" + lowering {extra['lowering_s']:.4f}s"
+                f" = cold {extra['cold_s']:.4f}s"
+                f", kernel={extra.get('kernel', '?')}]"
+            )
+        print(
+            f"  {bench_dict['name']:<44} "
+            f"{bench_dict['wall_s']:>9.4f}s{extra_txt}"
+        )
 
     if args.compare is None:
         return 0

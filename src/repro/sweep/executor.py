@@ -11,7 +11,12 @@ makes three transformations of the serial sweep loop safe:
   :class:`~repro.sweep.cache.ResultCache` keyed by the point's content
   hash;
 * **deduplication** — identical points inside one batch are evaluated
-  once.
+  once;
+* **plan-affinity batching** — points that lower to the same fast-path
+  plan (same machine, algorithm, source placement) ship to workers as
+  one :func:`evaluate_point_batch` call, so each worker's plan cache
+  (:mod:`repro.fastpath.plancache`) builds the schedule once and
+  replays it for every remaining point in the batch.
 
 All three are exercised against each other by the differential tests
 (``tests/test_sweep_differential.py``): serial, parallel, cold-cache and
@@ -42,6 +47,7 @@ from repro.sweep.spec import SweepPoint
 __all__ = [
     "SweepExecutor",
     "evaluate_point",
+    "evaluate_point_batch",
     "evaluate_point_observed",
     "resolve_jobs",
 ]
@@ -110,6 +116,23 @@ def evaluate_point(
         engine=engine,
     )
     return result.to_dict(), time.perf_counter() - start
+
+
+def evaluate_point_batch(
+    payloads: Sequence[Dict[str, Any]], engine: str = "auto"
+) -> List[Tuple[Dict[str, Any], float]]:
+    """Evaluate several point payloads in one worker call.
+
+    The batched task the executor ships to pool workers: evaluating
+    many points per process call lets the fast path's plan cache
+    (:mod:`repro.fastpath.plancache`) amortize schedule build +
+    lowering across points that share a machine/algorithm/placement —
+    the executor groups payloads accordingly (see
+    :meth:`SweepExecutor.run`) — and cuts per-point pickling overhead.
+    Each point still evaluates through :func:`evaluate_point`, so
+    results are bit-identical to unbatched evaluation.
+    """
+    return [evaluate_point(payload, engine) for payload in payloads]
 
 
 def evaluate_point_observed(
@@ -251,36 +274,45 @@ class SweepExecutor:
             else:
                 todo.append(i)
 
-        if todo:
+        if todo and self.observe:
             payloads = [points[i].payload() for i in todo]
-            if self.observe:
-                evaluate = evaluate_point_observed
-            else:
-                # functools.partial stays picklable for the process
-                # pool; the engine rides as an argument, never in the
-                # payload, keeping cache keys engine-free.
-                evaluate = functools.partial(
-                    evaluate_point, engine=self.engine
-                )
             if self.jobs > 1 and len(todo) > 1:
                 workers = min(self.jobs, len(todo))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    evaluated = list(pool.map(evaluate, payloads))
+                    evaluated = list(
+                        pool.map(evaluate_point_observed, payloads)
+                    )
             else:
-                evaluated = [evaluate(payload) for payload in payloads]
-            for i, item in zip(todo, evaluated):
-                if self.observe:
-                    result_dict, seconds, observation = item
-                    observations[i] = observation
-                    if self.cache is not None:
-                        self.cache.store_observation(points[i], observation)
-                else:
-                    result_dict, seconds = item
-                result_dicts[i] = result_dict
-                report.computed += 1
-                report.busy_s += seconds
+                evaluated = [
+                    evaluate_point_observed(payload) for payload in payloads
+                ]
+            for i, (result_dict, seconds, observation) in zip(todo, evaluated):
+                observations[i] = observation
                 if self.cache is not None:
-                    self.cache.store(points[i], result_dict, seconds)
+                    self.cache.store_observation(points[i], observation)
+                self._record(points[i], i, result_dict, seconds,
+                             result_dicts, report)
+        elif todo:
+            batches = self._plan_batches(points, todo)
+            payload_lists = [
+                [points[i].payload() for i in batch] for batch in batches
+            ]
+            # functools.partial stays picklable for the process pool;
+            # the engine rides as an argument, never in the payload,
+            # keeping cache keys engine-free.
+            evaluate = functools.partial(
+                evaluate_point_batch, engine=self.engine
+            )
+            if self.jobs > 1 and len(batches) > 1:
+                workers = min(self.jobs, len(batches))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    evaluated = list(pool.map(evaluate, payload_lists))
+            else:
+                evaluated = [evaluate(plist) for plist in payload_lists]
+            for batch, items in zip(batches, evaluated):
+                for i, (result_dict, seconds) in zip(batch, items):
+                    self._record(points[i], i, result_dict, seconds,
+                                 result_dicts, report)
 
         for i, j in duplicate_of.items():
             result_dicts[i] = result_dicts[j]
@@ -293,3 +325,56 @@ class SweepExecutor:
             self.session_observations.extend(observations)
         self.session.merge(report)
         return [BroadcastResult.from_dict(d) for d in result_dicts]
+
+    def _record(
+        self,
+        point: SweepPoint,
+        index: int,
+        result_dict: Dict[str, Any],
+        seconds: float,
+        result_dicts: List[Optional[Dict[str, Any]]],
+        report: SweepReport,
+    ) -> None:
+        """Book one computed result: slot, counters, cache write."""
+        result_dicts[index] = result_dict
+        report.computed += 1
+        report.busy_s += seconds
+        if self.cache is not None:
+            self.cache.store(point, result_dict, seconds)
+
+    def _plan_batches(
+        self, points: Sequence[SweepPoint], todo: List[int]
+    ) -> List[List[int]]:
+        """Partition ``todo`` indices into worker batches by plan affinity.
+
+        Points sharing (machine, algorithm, source placement, faults,
+        recover) lower to the same fast-path plan, so keeping them in
+        one worker call lets that process's plan cache serve every
+        point after the first from a warm entry — a sweep varying only
+        message length or seed builds each schedule **once per worker**
+        instead of once per point.  Groups keep first-appearance order.
+
+        With ``jobs > 1`` each group is split into chunks of at most
+        ``ceil(len(todo) / (jobs * 4))`` points so one huge group cannot
+        serialize the pool — the 4x oversubscription keeps workers load-
+        balanced while leaving chunks big enough to amortize the plan.
+        """
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for i in todo:
+            point = points[i]
+            affinity = (
+                point.machine,
+                point.algorithm,
+                point.sources,
+                point.faults,
+                point.recover,
+            )
+            groups.setdefault(affinity, []).append(i)
+        if self.jobs <= 1:
+            return list(groups.values())
+        chunk = max(1, -(-len(todo) // (self.jobs * 4)))
+        batches: List[List[int]] = []
+        for indices in groups.values():
+            for lo in range(0, len(indices), chunk):
+                batches.append(indices[lo:lo + chunk])
+        return batches

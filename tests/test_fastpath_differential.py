@@ -119,6 +119,44 @@ def test_fast_engine_matches_event_engine(
     assert _blob(fast) == _blob(event)
 
 
+def test_warm_plan_cache_replay_matches_event_engine():
+    """Cold lowering and warm cache-hit replays are equally bit-identical.
+
+    The first runnable grid points each execute three times: event
+    engine, fast with a cleared plan cache (a miss that lowers the
+    schedule), and fast again (a hit replaying the cached plan).  All
+    three must serialize byte-for-byte the same — the plan cache is an
+    amortization, never an approximation.
+    """
+    from repro.fastpath import plancache
+
+    plancache.clear()
+    checked = 0
+    for spec, dist, alg, sources, L, seed, contention in _POINTS:
+        if checked >= 8:
+            break
+        problem = BroadcastProblem(
+            machine=machine_from_spec(spec), sources=sources, message_size=L
+        )
+        try:
+            event = run_broadcast(
+                problem, alg, seed=seed, contention=contention, engine="event"
+            )
+        except ReproError:
+            continue  # exception parity is covered by the grid test
+        cold = run_broadcast(
+            problem, alg, seed=seed, contention=contention, engine="fast"
+        )
+        warm = run_broadcast(
+            problem, alg, seed=seed, contention=contention, engine="fast"
+        )
+        assert warm.debug["plan_cache"] == "hit"
+        assert _blob(cold) == _blob(event)
+        assert _blob(warm) == _blob(event)
+        checked += 1
+    assert checked == 8, "sampler starved the warm-replay check"
+
+
 def test_fast_engine_matches_event_on_nonuniform_sizes():
     """Per-source byte tables flow through the fast path unchanged."""
     machine = machine_from_spec("paragon:4x4")

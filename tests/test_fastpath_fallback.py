@@ -102,21 +102,24 @@ def _forbid_fast_path(monkeypatch):
     def _boom(*args, **kwargs):  # pragma: no cover - failure path
         raise AssertionError("fast path must not run for this configuration")
 
-    monkeypatch.setattr(repro.fastpath, "evaluate_schedule", _boom)
+    monkeypatch.setattr(repro.fastpath, "evaluate_problem", _boom)
 
 
 def test_auto_uses_fast_path_on_clean_runs(monkeypatch):
     calls = []
-    real = repro.fastpath.evaluate_schedule
+    real = repro.fastpath.evaluate_problem
 
     def _spy(*args, **kwargs):
         calls.append(kwargs)
         return real(*args, **kwargs)
 
-    monkeypatch.setattr(repro.fastpath, "evaluate_schedule", _spy)
-    run_broadcast(_problem(), "Br_Lin", seed=2, engine="auto")
+    monkeypatch.setattr(repro.fastpath, "evaluate_problem", _spy)
+    result = run_broadcast(_problem(), "Br_Lin", seed=2, engine="auto")
     assert len(calls) == 1
     assert calls[0]["seed"] == 2
+    assert result.debug["engine"] == "fast"
+    assert result.debug["kernel"] in ("jit", "python")
+    assert result.debug["plan_cache"] in ("hit", "miss", "bypass")
 
 
 @pytest.mark.parametrize(

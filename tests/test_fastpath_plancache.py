@@ -1,0 +1,167 @@
+"""Plan-cache correctness: amortization must never change a byte.
+
+The plan cache (:mod:`repro.fastpath.plancache`) reuses one lowered
+:class:`~repro.fastpath.lowering.FastPlan` across sweep points that
+share the schedule-determining data, rebinding message sizes and rank
+mappings per point.  Every test here is a bit-identity claim: a run
+served from a warm cache entry — same sizes, rebound sizes, different
+seed — must serialize byte-for-byte like a run computed with the cache
+cleared (and, transitively via the differential suite, like the event
+engine).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.problem import BroadcastProblem
+from repro.core.runner import run_broadcast
+from repro.fastpath import lower_schedule, plan_cache
+from repro.fastpath import plancache
+from repro.machines import machine_from_spec, paragon
+from repro.machines.paragon import PARAGON_PARAMS
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    plancache.clear()
+    yield
+    plancache.clear()
+
+
+def _blob(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _problem(spec: str, size: int, s: int = 4) -> BroadcastProblem:
+    return BroadcastProblem(
+        machine=machine_from_spec(spec),
+        sources=tuple(range(s)),
+        message_size=size,
+    )
+
+
+def test_repeated_point_hits_and_matches():
+    problem = _problem("paragon:4x4", 1024)
+    first = run_broadcast(problem, "PersAlltoAll", engine="fast")
+    second = run_broadcast(problem, "PersAlltoAll", engine="fast")
+    assert first.debug["plan_cache"] == "miss"
+    assert second.debug["plan_cache"] == "hit"
+    assert _blob(first) == _blob(second)
+    stats = plancache.stats()
+    assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+
+@pytest.mark.parametrize("algorithm", ["PersAlltoAll", "Br_Lin", "2-Step"])
+def test_size_rebind_matches_fresh_lowering(algorithm):
+    """One plan serves every message length, byte-identical to a fresh
+    build: lower at L=64, replay rebound at L=4096, compare against a
+    cold-cache L=4096 run."""
+    small = run_broadcast(_problem("paragon:4x4", 64), algorithm, engine="fast")
+    assert small.debug["plan_cache"] == "miss"
+    warm = run_broadcast(_problem("paragon:4x4", 4096), algorithm, engine="fast")
+    assert warm.debug["plan_cache"] == "hit"
+    assert plancache.stats()["size_rebinds"] >= 1
+    plancache.clear()
+    cold = run_broadcast(_problem("paragon:4x4", 4096), algorithm, engine="fast")
+    assert cold.debug["plan_cache"] == "miss"
+    assert _blob(warm) == _blob(cold)
+
+
+def test_size_dependent_schedule_cached_per_size_table():
+    """Pipelined MPI_AllGather's *structure* changes with L (segment
+    count), so its plans key per size table — every L is a fresh
+    lowering, repeats of the same L are hits, and all of it matches
+    cold-cache runs."""
+    spec, algorithm = "t3d:16", "MPI_AllGather"
+    warm = {}
+    for size in (64, 4096, 65536):
+        first = run_broadcast(_problem(spec, size), algorithm, engine="fast")
+        assert first.debug["plan_cache"] == "miss"  # never size-rebound
+        again = run_broadcast(_problem(spec, size), algorithm, engine="fast")
+        assert again.debug["plan_cache"] == "hit"
+        assert _blob(first) == _blob(again)
+        warm[size] = _blob(first)
+    plancache.clear()
+    for size, blob in warm.items():
+        cold = run_broadcast(_problem(spec, size), algorithm, engine="fast")
+        assert _blob(cold) == blob
+
+
+def test_seed_variation_shares_plan_not_binding():
+    """T3D rank mappings are seeded, so seeds share the lowered plan
+    (a hit) but resolve their own link paths — results must match
+    cold-cache runs seed by seed."""
+    warm = {}
+    for seed in (0, 3, 7):
+        result = run_broadcast(
+            _problem("t3d:16", 2048), "PersAlltoAll", engine="fast", seed=seed
+        )
+        expected = "miss" if seed == 0 else "hit"
+        assert result.debug["plan_cache"] == expected
+        warm[seed] = _blob(result)
+    assert len(set(warm.values())) > 1, "seeded mappings should differ"
+    plancache.clear()
+    for seed, blob in warm.items():
+        cold = run_broadcast(
+            _problem("t3d:16", 2048), "PersAlltoAll", engine="fast", seed=seed
+        )
+        assert _blob(cold) == blob
+
+
+def test_adhoc_machine_bypasses_cache():
+    """Machines without a canonical spec cannot key a cache entry; the
+    run still replays through the kernel, uncached, and matches the
+    event engine."""
+    machine = paragon(4, 4, params=PARAGON_PARAMS.with_overrides(t_byte=1.0))
+    assert machine.spec is None
+    problem = BroadcastProblem(
+        machine=machine, sources=(0, 5), message_size=512
+    )
+    fast = run_broadcast(problem, "Br_Lin", engine="fast")
+    assert fast.debug["plan_cache"] == "bypass"
+    assert plancache.stats()["bypasses"] >= 1
+    assert plancache.stats()["entries"] == 0
+    event = run_broadcast(problem, "Br_Lin", engine="event")
+    assert _blob(fast) == _blob(event)
+
+
+def test_rebind_sizes_refuses_size_dependent_structure():
+    problem = _problem("t3d:16", 65536)
+    schedule = get_algorithm("MPI_AllGather").build_schedule(problem)
+    plan = lower_schedule(schedule)
+    assert not plan.size_reusable
+    with pytest.raises(ValueError, match="depends on message sizes"):
+        plan.rebind_sizes(_problem("t3d:16", 1024))
+
+
+def test_rebind_sizes_bit_equal_to_fresh_lowering():
+    """Direct check at the lowering layer: rebound cost arrays equal a
+    from-scratch lowering of the resized problem, array by array."""
+    import numpy as np
+
+    base = _problem("paragon:4x4", 64)
+    schedule = get_algorithm("PersAlltoAll").build_schedule(base)
+    plan = lower_schedule(schedule)
+    assert plan.size_reusable
+    resized = _problem("paragon:4x4", 4096)
+    rebound = plan.rebind_sizes(resized)
+    fresh = lower_schedule(
+        get_algorithm("PersAlltoAll").build_schedule(resized)
+    )
+    for name in ("send_nbytes", "send_ovh", "recv_total", "recv_copy"):
+        assert np.array_equal(getattr(rebound, name), getattr(fresh, name)), name
+    # Structural arrays are shared, not copied.
+    assert rebound.op_code is plan.op_code
+    assert rebound.msg_members is plan.msg_members
+
+
+def test_plan_cache_singleton_stats_shape():
+    cache = plan_cache()
+    stats = cache.stats()
+    assert set(stats) >= {
+        "hits", "misses", "bypasses", "size_rebinds", "entries"
+    }

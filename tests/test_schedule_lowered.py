@@ -70,7 +70,7 @@ def test_fastpath_lowering_consumes_the_same_plan(spec, algorithm, s):
     assert fast.p == schedule.problem.p
     assert fast.num_sends == schedule.num_transfers
     for rank in range(fast.p):
-        ops = fast.rank_ops[rank]
+        ops = fast.rank_ops(rank)
         n_send = sum(1 for op in ops if op[0] == OP_SEND)
         n_recv = sum(1 for op in ops if op[0] == OP_RECV)
         n_wait = sum(1 for op in ops if op[0] == OP_WAIT)
