@@ -12,6 +12,12 @@ Runs route through the sweep executor (see :mod:`repro.sweep`): with
 on-disk result cache instead of re-simulating; ``--no-cache`` forces
 recomputation.  ``--timeline`` always simulates directly (the tracer
 cannot ride through worker processes or the cache).
+
+Subcommands: ``python -m repro sweep`` evaluates whole grids — serial,
+pooled, or sharded across worker processes (``--shards`` / ``--worker``,
+see :mod:`repro.sweep.cli`); ``python -m repro chaos`` runs the fault
+harness (``--orchestrator`` points it at the sweep coordinator itself);
+``python -m repro trace`` exports Chrome traces.
 """
 
 from __future__ import annotations
@@ -74,6 +80,10 @@ def main(argv: List[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one s-to-p broadcast on a simulated MPP.",

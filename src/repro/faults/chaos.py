@@ -27,16 +27,27 @@ a time (ddmin-style, to a fixpoint) while the violation persists, so
 the reported schedule is a minimal reproduction.  Every trial is
 addressable by ``(seed, index)`` — ``--trial K`` replays exactly one.
 
+``--orchestrator`` points the same methodology at the **distributed
+sweep coordinator** (:mod:`repro.sweep.distributed`) instead of the
+simulated machine: seeded schedules of worker *kills* (``kill:W@T``)
+and *stalls* (``stall:W@T+D``, SIGSTOP then SIGCONT) are injected into
+a sharded sweep mid-flight, and the invariants assert that the lease
+protocol delivers — the sweep completes, results stay bit-identical to
+a serial run, every unit lands a done marker, and a warm re-run
+recomputes nothing.
+
 CLI::
 
     python -m repro chaos --trials 25 --seed 7
     python -m repro chaos --trials 1 --seed 7 --trial 13   # replay
+    python -m repro chaos --orchestrator --trials 5 --seed 7
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from dataclasses import dataclass, field
@@ -50,7 +61,20 @@ from repro.faults.spec import (
     NodeFault,
 )
 
-__all__ = ["ChaosTrial", "Violation", "run_trial", "run_trials", "shrink", "main"]
+__all__ = [
+    "ChaosTrial",
+    "OrchestratorFault",
+    "OrchestratorTrial",
+    "Violation",
+    "generate_orchestrator_trial",
+    "parse_orchestrator_spec",
+    "run_orchestrator_trial",
+    "run_orchestrator_trials",
+    "run_trial",
+    "run_trials",
+    "shrink",
+    "main",
+]
 
 #: Default trial axes: mesh algorithms that cover the three schedule
 #: families (linear, grid two-phase, partitioned) and the distributions
@@ -289,6 +313,290 @@ def run_trial(trial: ChaosTrial, *, determinism: bool = False) -> Optional[Viola
     )
 
 
+# -- orchestrator chaos: kill/stall sweep workers mid-flight ---------------
+
+@dataclass(frozen=True)
+class OrchestratorFault:
+    """One worker-process fault: ``kill:W@T`` or ``stall:W@T+D``.
+
+    ``worker`` indexes the coordinator's spawned shard processes;
+    ``at_s`` is seconds after spawn; ``duration_s`` (stalls only) is how
+    long the worker sits under SIGSTOP before SIGCONT.  The grammar
+    mirrors the simulator's fault specs: ``;``-separated, canonical
+    spelling, addressable from a seed.
+    """
+
+    kind: str  # "kill" | "stall"
+    worker: int
+    at_s: float
+    duration_s: float = 0.0
+
+    def canonical(self) -> str:
+        if self.kind == "kill":
+            return f"kill:{self.worker}@{self.at_s:g}"
+        return f"stall:{self.worker}@{self.at_s:g}+{self.duration_s:g}"
+
+
+def parse_orchestrator_spec(spec: str) -> Tuple[OrchestratorFault, ...]:
+    """Parse a ``;``-separated orchestrator fault spec.
+
+    >>> [f.canonical() for f in parse_orchestrator_spec(
+    ...     "kill:1@0.2; stall:0@0.1+1.5")]
+    ['kill:1@0.2', 'stall:0@0.1+1.5']
+    """
+    faults: List[OrchestratorFault] = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            kind, rest = part.split(":", 1)
+            worker_text, when = rest.split("@", 1)
+            if kind == "kill":
+                faults.append(
+                    OrchestratorFault("kill", int(worker_text), float(when))
+                )
+            elif kind == "stall":
+                at_text, duration_text = when.split("+", 1)
+                faults.append(
+                    OrchestratorFault(
+                        "stall",
+                        int(worker_text),
+                        float(at_text),
+                        float(duration_text),
+                    )
+                )
+            else:
+                raise ValueError(kind)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad orchestrator fault {part!r} (expected kill:W@T or "
+                f"stall:W@T+D): {exc}"
+            ) from None
+    return tuple(faults)
+
+
+@dataclass(frozen=True)
+class OrchestratorTrial:
+    """One orchestrator-chaos trial: a sharded sweep plus worker faults."""
+
+    index: int
+    shards: int
+    faults: Tuple[OrchestratorFault, ...]
+    lease_ttl_s: float
+    seed: int
+
+    def describe(self) -> str:
+        spec = "; ".join(f.canonical() for f in self.faults)
+        return (
+            f"trial {self.index}: {self.shards} shard(s), "
+            f"ttl={self.lease_ttl_s:g}s, faults='{spec}'"
+        )
+
+
+def generate_orchestrator_trial(base_seed: int, index: int) -> OrchestratorTrial:
+    """The deterministic orchestrator trial at ``(base_seed, index)``.
+
+    Stall durations deliberately exceed the lease TTL, so a stalled
+    worker's leases *expire and get stolen* while it is stopped — the
+    exact straggler scenario work stealing exists for — and the worker
+    then wakes up to discover it lost them (the abandoned-unit path).
+    """
+    rng = random.Random(f"chaos-orchestrator#{base_seed}#{index}")
+    lease_ttl_s = 0.6
+    faults: List[OrchestratorFault] = []
+    shards = 2
+    for _ in range(rng.randint(1, 2)):
+        worker = rng.randrange(shards)
+        at_s = round(rng.uniform(0.05, 0.5), 3)
+        if rng.random() < 0.5:
+            faults.append(OrchestratorFault("kill", worker, at_s))
+        else:
+            duration_s = round(rng.uniform(1.2, 2.0), 3)
+            faults.append(OrchestratorFault("stall", worker, at_s, duration_s))
+    return OrchestratorTrial(
+        index=index,
+        shards=shards,
+        faults=tuple(faults),
+        lease_ttl_s=lease_ttl_s,
+        seed=base_seed,
+    )
+
+
+#: Grid every orchestrator trial sweeps: small enough to finish in
+#: seconds, wide enough for several plan-affinity units per shard.
+_ORCHESTRATOR_GRID = dict(
+    machines=("paragon:4x4",),
+    distributions=("E", "R"),
+    s_values=(2, 4),
+    message_sizes=(256,),
+    algorithms=("Br_Lin", "2-Step"),
+    seeds=(0,),
+)
+
+
+def _inject_worker_faults(
+    faults: Sequence[OrchestratorFault], pids: List[int]
+):
+    """A ``worker_hook`` that arms kill/stall timers against worker pids.
+
+    Returns the timer list (daemon threads; SIGCONT timers always fire,
+    so a stalled worker is never leaked in the stopped state).
+    """
+    import signal
+    import threading
+
+    def _signal(pid: int, signum: int) -> None:
+        try:
+            os.kill(pid, signum)
+        except (ProcessLookupError, PermissionError):
+            pass  # worker already exited; the fault becomes a no-op
+
+    def hook(procs) -> None:
+        pids.extend(proc.pid for proc in procs)
+        timers = []
+        for fault in faults:
+            if fault.worker >= len(procs):
+                continue
+            pid = procs[fault.worker].pid
+            if fault.kind == "kill":
+                timers.append(
+                    threading.Timer(fault.at_s, _signal, (pid, signal.SIGKILL))
+                )
+            else:
+                timers.append(
+                    threading.Timer(fault.at_s, _signal, (pid, signal.SIGSTOP))
+                )
+                timers.append(
+                    threading.Timer(
+                        fault.at_s + fault.duration_s,
+                        _signal,
+                        (pid, signal.SIGCONT),
+                    )
+                )
+        for timer in timers:
+            timer.daemon = True
+            timer.start()
+
+    return hook
+
+
+def run_orchestrator_trial(trial: OrchestratorTrial) -> Optional[Violation]:
+    """Run one sharded sweep under worker faults; check the invariants.
+
+    1. **Completion** — ``run_sharded`` returns despite kills/stalls
+       (leases expire, survivors or the coordinator steal the work).
+    2. **Bit-identity** — results equal a serial ``SweepExecutor`` run.
+    3. **Full accounting** — every unit carries a done marker and no
+       unit recorded a point-evaluation error.
+    4. **Durable resume** — a warm re-run over the same cache computes
+       nothing.
+    """
+    import shutil
+    import signal
+    import tempfile
+
+    from repro.sweep import ResultCache, SweepExecutor, SweepSpec
+    from repro.sweep.distributed import WorkQueue, run_sharded
+
+    spec_text = "; ".join(f.canonical() for f in trial.faults)
+
+    def violation(invariant: str, detail: str) -> Violation:
+        return Violation(
+            trial=trial.index,
+            invariant=invariant,
+            detail=detail,
+            schedule=spec_text,
+            shrunk_schedule=spec_text,
+            algorithm="<sweep-coordinator>",
+            distribution="-",
+        )
+
+    points = SweepSpec(**_ORCHESTRATOR_GRID).points()
+    serial = [
+        json.dumps(r.to_dict(), sort_keys=True)
+        for r in SweepExecutor(jobs=1).run(points)
+    ]
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-orch-")
+    pids: List[int] = []
+    try:
+        cache = ResultCache(os.path.join(workdir, "cache"))
+        outcome = run_sharded(
+            points,
+            shards=trial.shards,
+            cache=cache,
+            run_dir=os.path.join(workdir, "run"),
+            lease_ttl_s=trial.lease_ttl_s,
+            worker_hook=_inject_worker_faults(trial.faults, pids),
+        )
+        sharded = [
+            json.dumps(r.to_dict(), sort_keys=True) for r in outcome.results
+        ]
+        if sharded != serial:
+            mismatches = sum(1 for a, b in zip(serial, sharded) if a != b)
+            return violation(
+                "bit-identity",
+                f"{mismatches}/{len(points)} point(s) differ from serial",
+            )
+        queue = WorkQueue.open(outcome.run_dir)
+        missing = queue.pending_units()
+        if missing:
+            return violation(
+                "full-accounting", f"unit(s) {missing} have no done marker"
+            )
+        errors = queue.errors()
+        if errors:
+            return violation(
+                "full-accounting",
+                f"{len(errors)} point evaluation error(s): "
+                f"{errors[0]['error']}",
+            )
+        rerun = run_sharded(
+            points,
+            shards=trial.shards,
+            cache=cache,
+            run_dir=os.path.join(workdir, "rerun"),
+            lease_ttl_s=trial.lease_ttl_s,
+        )
+        if rerun.report.computed != 0:
+            return violation(
+                "durable-resume",
+                f"warm re-run recomputed {rerun.report.computed} point(s)",
+            )
+    except Exception as exc:  # noqa: BLE001 - any escape is the violation
+        return violation("completion", f"{type(exc).__name__}: {exc}")
+    finally:
+        for pid in pids:  # never leak a stopped/stray worker
+            for signum in (signal.SIGCONT, signal.SIGKILL):
+                try:
+                    os.kill(pid, signum)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        shutil.rmtree(workdir, ignore_errors=True)
+    return None
+
+
+def run_orchestrator_trials(
+    trials: int,
+    seed: int,
+    *,
+    only: Optional[int] = None,
+    verbose: bool = True,
+) -> "ChaosReport":
+    """Seeded batch of orchestrator trials (the ``--orchestrator`` mode)."""
+    report = ChaosReport(seed=seed, trials=trials)
+    indices = [only] if only is not None else list(range(trials))
+    for index in indices:
+        trial = generate_orchestrator_trial(seed, index)
+        violation = run_orchestrator_trial(trial)
+        if verbose:
+            status = "FAIL" if violation is not None else "ok"
+            print(f"  [{status:4s}] {trial.describe()}")
+        if violation is not None:
+            report.violations.append(violation)
+    return report
+
+
 @dataclass
 class ChaosReport:
     """Outcome of a chaos batch (JSON-serialisable for CI artifacts)."""
@@ -374,7 +682,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write a JSON report (shrunk schedules included) here",
     )
+    parser.add_argument(
+        "--orchestrator",
+        action="store_true",
+        help=(
+            "target the distributed sweep coordinator instead of the "
+            "simulated machine: kill/stall shard workers mid-sweep"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.orchestrator:
+        print(
+            f"chaos (orchestrator): {args.trials} trial(s), seed {args.seed}"
+        )
+        report = run_orchestrator_trials(
+            args.trials, args.seed, only=args.trial
+        )
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"report written to {args.report}")
+        if report.ok:
+            print(f"all invariants held over {report.trials} trial(s)")
+            return 0
+        for violation in report.violations:
+            print()
+            print(
+                f"VIOLATION [{violation.invariant}] in trial "
+                f"{violation.trial}:"
+            )
+            print(f"  {violation.detail}")
+            print(f"  faults: {violation.schedule}")
+        print(f"\n{len(report.violations)} violation(s)")
+        return 1
 
     print(
         f"chaos: {args.trials} trial(s), seed {args.seed}, "

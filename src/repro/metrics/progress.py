@@ -12,8 +12,9 @@ after every figure regeneration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Iterable
 
-__all__ = ["SweepReport"]
+__all__ = ["SweepReport", "merge_shard_reports"]
 
 
 @dataclass
@@ -71,6 +72,48 @@ class SweepReport:
         self.saved_s += other.saved_s
         self.jobs = max(self.jobs, other.jobs)
 
+    def merge_concurrent(self, other: "SweepReport") -> None:
+        """Fold in a report from a shard that ran *concurrently*.
+
+        Unlike :meth:`merge` (sequential batches: wall times add), shards
+        overlap on the wall clock, so their wall times take the max and
+        their worker counts add — ``busy_s``/``saved_s`` still sum, which
+        keeps :attr:`speedup` honest about the fan-out win.
+        """
+        self.total += other.total
+        self.cached += other.cached
+        self.computed += other.computed
+        self.wall_s = max(self.wall_s, other.wall_s)
+        self.busy_s += other.busy_s
+        self.saved_s += other.saved_s
+        self.jobs += other.jobs
+
+    # -- serialization (shard done-markers and worker hand-off) ----------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form, for lease done-markers and shard reports."""
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "computed": self.computed,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "saved_s": self.saved_s,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepReport":
+        """Inverse of :meth:`to_dict` (tolerates missing counters)."""
+        return cls(
+            total=int(data.get("total", 0)),
+            cached=int(data.get("cached", 0)),
+            computed=int(data.get("computed", 0)),
+            wall_s=float(data.get("wall_s", 0.0)),
+            busy_s=float(data.get("busy_s", 0.0)),
+            saved_s=float(data.get("saved_s", 0.0)),
+            jobs=int(data.get("jobs", 1)),
+        )
+
     def since(self, earlier: "SweepReport") -> "SweepReport":
         """Counter delta relative to an earlier snapshot of this report."""
         return SweepReport(
@@ -91,3 +134,18 @@ class SweepReport:
             f"in {self.wall_s:.2f}s "
             f"[jobs={self.jobs}, ~{self.speedup:.1f}x vs cold serial]"
         )
+
+
+def merge_shard_reports(reports: Iterable[SweepReport]) -> SweepReport:
+    """Cross-shard roll-up of per-worker :class:`SweepReport`\\ s.
+
+    Shards of a distributed sweep run concurrently against one shared
+    cache, so the merged wall time is the slowest shard's (the makespan)
+    while point counters and compute seconds sum across shards.
+    """
+    merged = SweepReport(jobs=0)
+    for report in reports:
+        merged.merge_concurrent(report)
+    if merged.jobs == 0:
+        merged.jobs = 1
+    return merged

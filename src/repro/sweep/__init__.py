@@ -10,25 +10,40 @@ configuration, this subsystem makes grid replay cheap:
 * :class:`~repro.sweep.cache.ResultCache` — content-addressed on-disk
   memoization of results;
 * :class:`~repro.sweep.executor.SweepExecutor` — process-pool fan-out
-  with serial fallback and per-sweep progress counters.
+  with serial fallback and per-sweep progress counters;
+* :mod:`repro.sweep.distributed` — grids sharded across worker
+  *processes* (local or on other hosts) that coordinate only through
+  the shared cache directory plus an on-disk lease queue, with work
+  stealing and crash-safe resumption.
 
 The bench harness (:mod:`repro.bench.runner`) routes every figure's
 measurements through an executor; see ``--jobs`` / ``--cache-dir`` /
-``--no-cache`` on ``python -m repro.bench`` and ``python -m repro``.
+``--no-cache`` on ``python -m repro.bench`` and ``python -m repro``,
+and ``python -m repro sweep --shards/--worker`` for sharded grids.
 """
 
 from __future__ import annotations
 
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sweep.distributed import (
+    DistributedSweepResult,
+    WorkQueue,
+    run_sharded,
+    run_worker,
+)
 from repro.sweep.executor import SweepExecutor, evaluate_point, resolve_jobs
 from repro.sweep.spec import SweepPoint, SweepSpec
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "DistributedSweepResult",
     "ResultCache",
     "SweepExecutor",
     "SweepPoint",
     "SweepSpec",
+    "WorkQueue",
     "evaluate_point",
     "resolve_jobs",
+    "run_sharded",
+    "run_worker",
 ]

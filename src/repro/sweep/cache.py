@@ -11,14 +11,26 @@ wrong-format entry is silently discarded and recomputed — a cache must
 never be able to fail a sweep.  Writes are atomic (temp file +
 ``os.replace``), so a crashed writer leaves at worst a stray temp file,
 never a half-written entry served as truth.
+
+The cache directory may be **shared across processes and hosts** (the
+distributed sweep's only coordination channel, see
+:mod:`repro.sweep.distributed`), so temp names carry host + pid + a
+per-process counter — pid-only suffixes collide between hosts sharing
+one directory over a network filesystem — and stale temp files left by
+crashed writers are garbage-collected opportunistically on the next
+write into the same shard directory.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
+import re
 import shutil
+import socket
+import time
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.sweep.spec import SweepPoint
@@ -27,6 +39,20 @@ __all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
 
 #: Default cache location for the CLIs (overridable via ``--cache-dir``).
 DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/sweep")
+
+#: Temp files older than this are presumed crashed-writer leftovers and
+#: garbage-collected on the next write into their shard directory.  A
+#: healthy writer holds a temp file for milliseconds; ten minutes leaves
+#: generous headroom for a paused process on a loaded host.
+TMP_MAX_AGE_S = 600.0
+
+#: Host component of temp names, filesystem-safe.  Distinguishes
+#: writers on different hosts sharing one cache directory.
+_HOST_TOKEN = re.sub(r"[^A-Za-z0-9_.-]", "-", socket.gethostname()) or "host"
+
+#: Per-process counter: two stores of the same key from one process
+#: (e.g. concurrent threads) never reuse a temp name.
+_TMP_COUNTER = itertools.count()
 
 #: Fields an entry's result dict must carry to be considered intact.
 _REQUIRED_RESULT_FIELDS = (
@@ -64,10 +90,15 @@ class ResultCache:
 
         Any defect — unreadable file, invalid JSON, missing fields, or a
         stored payload that does not match the point (stale format, hash
-        collision) — counts as a miss; the bad entry is deleted so it is
-        recomputed and rewritten rather than tripping every future run.
+        collision) — counts as a miss; the bad entry is deleted *together
+        with its observation sibling* so both are recomputed and
+        rewritten rather than tripping every future run.  (Leaving the
+        ``<key>.obs.json`` sibling behind would let a stale-format
+        observation survive the recompute and be served beside the fresh
+        result.)
         """
-        path = self.path_for(point.key())
+        key = point.key()
+        path = self.path_for(key)
         try:
             text = path.read_text()
         except OSError:
@@ -85,10 +116,7 @@ class ResultCache:
             # accounting — so KeyError here discards and recomputes.
             compute_s = float(entry["compute_s"])
         except (ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard(key)
             return None
         return result, compute_s
 
@@ -123,29 +151,78 @@ class ResultCache:
         self, point: SweepPoint, result: Dict[str, Any], compute_s: float
     ) -> None:
         """Persist one evaluated point (atomic replace)."""
-        path = self.path_for(point.key())
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "point": point.payload(),
             "result": result,
             "compute_s": compute_s,
         }
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        os.replace(tmp, path)
+        self._write_atomic(self.path_for(point.key()), entry)
 
     def store_observation(
         self, point: SweepPoint, observation: Dict[str, Any]
     ) -> None:
         """Persist one point's observation summary (atomic replace)."""
-        path = self.obs_path_for(point.key())
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"point": point.payload(), "observation": observation}
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        self._write_atomic(self.obs_path_for(point.key()), entry)
+
+    def _write_atomic(self, path: pathlib.Path, entry: Dict[str, Any]) -> None:
+        """Temp-file + ``os.replace`` write, with stale-temp GC.
+
+        The temp name is unique per (host, pid, in-process counter):
+        concurrent writers — including workers on *different hosts*
+        sharing one cache directory — never clobber each other's temp
+        files, and the atomic replace means the last writer wins with a
+        complete entry (all writers of one key produce identical results,
+        so which one wins is immaterial).
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.gc_stale_tmp(path.parent)
+        tmp = path.with_name(
+            f"{path.name}.{_HOST_TOKEN}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
 
     # -- maintenance -------------------------------------------------------
+    def gc_stale_tmp(
+        self,
+        directory: Optional[pathlib.Path] = None,
+        max_age_s: Optional[float] = None,
+    ) -> int:
+        """Delete crashed-writer temp files; returns how many were removed.
+
+        A writer that dies between creating its temp file and the atomic
+        replace leaks ``<key>.json.<host>.<pid>.<n>.tmp`` forever.  Every
+        write sweeps its own shard directory (cheap: shard dirs are
+        256-way), deleting temp files older than ``max_age_s`` (default
+        :data:`TMP_MAX_AGE_S`) — young ones may belong to a live writer
+        mid-replace and are left alone.  With no ``directory``, sweeps
+        the whole cache.
+        """
+        age_limit = TMP_MAX_AGE_S if max_age_s is None else max_age_s
+        cutoff = time.time() - age_limit
+        if directory is not None:
+            candidates = directory.glob("*.tmp")
+        else:
+            candidates = self.root.glob("??/*.tmp")
+        removed = 0
+        for tmp in candidates:
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                pass  # vanished under a concurrent GC, or unreadable
+        return removed
+
+    def _discard(self, key: str) -> None:
+        """Delete a defective entry and its observation sibling."""
+        for path in (self.path_for(key), self.obs_path_for(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def __len__(self) -> int:
         """Number of result entries on disk (observations not counted)."""
         return sum(
@@ -155,7 +232,14 @@ class ResultCache:
         )
 
     def clear(self) -> None:
-        """Delete every entry (and the cache directory itself)."""
+        """Delete every entry (and the cache directory itself).
+
+        Stale temp files go with the tree; :meth:`gc_stale_tmp` runs
+        first with ``max_age_s=0`` so a clear on a directory that
+        resists ``rmtree`` (e.g. concurrent writers re-creating shard
+        dirs) still reaps crashed-writer leftovers.
+        """
+        self.gc_stale_tmp(max_age_s=0.0)
         shutil.rmtree(self.root, ignore_errors=True)
 
     def __repr__(self) -> str:

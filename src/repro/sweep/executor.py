@@ -48,7 +48,9 @@ __all__ = [
     "SweepExecutor",
     "evaluate_point",
     "evaluate_point_batch",
+    "evaluate_point_batch_observed",
     "evaluate_point_observed",
+    "plan_affinity_batches",
     "resolve_jobs",
 ]
 
@@ -59,34 +61,47 @@ JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Effective worker count: argument > ``$REPRO_SWEEP_JOBS`` > 1.
 
-    An unusable environment value (not an integer, or below 1) falls
-    back to serial — but loudly, with a :class:`RuntimeWarning` naming
-    the bad value, so a typo'd ``REPRO_SWEEP_JOBS=abc`` in a CI config
-    does not silently run a sweep 16x slower than intended.
+    An unusable *explicit* argument (zero or negative) raises
+    :class:`~repro.errors.ConfigurationError` — the caller asked for an
+    impossible worker count, and silently clamping ``jobs=0`` to serial
+    hides the bug that produced it.  An unusable *environment* value
+    (not an integer, or below 1) falls back to serial — but loudly, with
+    a :class:`RuntimeWarning` naming the bad value, so a typo'd
+    ``REPRO_SWEEP_JOBS=abc`` in a CI config does not silently run a
+    sweep 16x slower than intended.  (The environment is configuration,
+    not code: a warning keeps a shared shell profile from breaking every
+    run, while an explicit bad argument is a programming error.)
     """
-    if jobs is None:
-        raw = os.environ.get(JOBS_ENV_VAR, "")
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            warnings.warn(
-                f"ignoring {JOBS_ENV_VAR}={raw!r}: not an integer; "
-                "running serial (jobs=1)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return 1
+    if jobs is not None:
+        jobs = int(jobs)
         if jobs < 1:
-            warnings.warn(
-                f"ignoring {JOBS_ENV_VAR}={raw!r}: worker count must be "
-                ">= 1; running serial (jobs=1)",
-                RuntimeWarning,
-                stacklevel=2,
+            raise ConfigurationError(
+                f"jobs must be >= 1, got {jobs}; pass jobs=None to defer "
+                f"to ${JOBS_ENV_VAR}"
             )
-            return 1
-    return max(1, int(jobs))
+        return jobs
+    raw = os.environ.get(JOBS_ENV_VAR, "")
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {JOBS_ENV_VAR}={raw!r}: not an integer; "
+            "running serial (jobs=1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    if jobs < 1:
+        warnings.warn(
+            f"ignoring {JOBS_ENV_VAR}={raw!r}: worker count must be "
+            ">= 1; running serial (jobs=1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return jobs
 
 
 def evaluate_point(
@@ -133,6 +148,25 @@ def evaluate_point_batch(
     results are bit-identical to unbatched evaluation.
     """
     return [evaluate_point(payload, engine) for payload in payloads]
+
+
+def evaluate_point_batch_observed(
+    payloads: Sequence[Dict[str, Any]]
+) -> List[Tuple[Dict[str, Any], float, Dict[str, Any]]]:
+    """Observed counterpart of :func:`evaluate_point_batch`.
+
+    Observed sweeps used to fan out with per-point ``pool.map`` calls
+    while unobserved ones shipped plan-affinity batches — two different
+    scheduling regimes for what must be bit-identical work.  Routing
+    both through :func:`SweepExecutor._plan_batches` keeps one code
+    path, cuts per-point pickling/IPC overhead, and keeps batch shapes
+    identical whether or not observation is on (so turning ``observe``
+    on never changes which points share a worker, and any future plan
+    reuse in the traced engine amortizes the same way).  Each point
+    still evaluates through :func:`evaluate_point_observed`, so results
+    are bit-identical to the per-point path.
+    """
+    return [evaluate_point_observed(payload) for payload in payloads]
 
 
 def evaluate_point_observed(
@@ -274,35 +308,22 @@ class SweepExecutor:
             else:
                 todo.append(i)
 
-        if todo and self.observe:
-            payloads = [points[i].payload() for i in todo]
-            if self.jobs > 1 and len(todo) > 1:
-                workers = min(self.jobs, len(todo))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    evaluated = list(
-                        pool.map(evaluate_point_observed, payloads)
-                    )
-            else:
-                evaluated = [
-                    evaluate_point_observed(payload) for payload in payloads
-                ]
-            for i, (result_dict, seconds, observation) in zip(todo, evaluated):
-                observations[i] = observation
-                if self.cache is not None:
-                    self.cache.store_observation(points[i], observation)
-                self._record(points[i], i, result_dict, seconds,
-                             result_dicts, report)
-        elif todo:
+        if todo:
             batches = self._plan_batches(points, todo)
             payload_lists = [
                 [points[i].payload() for i in batch] for batch in batches
             ]
-            # functools.partial stays picklable for the process pool;
-            # the engine rides as an argument, never in the payload,
-            # keeping cache keys engine-free.
-            evaluate = functools.partial(
-                evaluate_point_batch, engine=self.engine
-            )
+            # Observed and unobserved sweeps ship the *same* plan-
+            # affinity batches — one scheduling regime, bit-identical
+            # work either way.  functools.partial stays picklable for
+            # the process pool; the engine rides as an argument, never
+            # in the payload, keeping cache keys engine-free.
+            if self.observe:
+                evaluate = evaluate_point_batch_observed
+            else:
+                evaluate = functools.partial(
+                    evaluate_point_batch, engine=self.engine
+                )
             if self.jobs > 1 and len(batches) > 1:
                 workers = min(self.jobs, len(batches))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -310,7 +331,16 @@ class SweepExecutor:
             else:
                 evaluated = [evaluate(plist) for plist in payload_lists]
             for batch, items in zip(batches, evaluated):
-                for i, (result_dict, seconds) in zip(batch, items):
+                for i, item in zip(batch, items):
+                    if self.observe:
+                        result_dict, seconds, observation = item
+                        observations[i] = observation
+                        if self.cache is not None:
+                            self.cache.store_observation(
+                                points[i], observation
+                            )
+                    else:
+                        result_dict, seconds = item
                     self._record(points[i], i, result_dict, seconds,
                                  result_dicts, report)
 
@@ -345,36 +375,46 @@ class SweepExecutor:
     def _plan_batches(
         self, points: Sequence[SweepPoint], todo: List[int]
     ) -> List[List[int]]:
-        """Partition ``todo`` indices into worker batches by plan affinity.
+        """Partition ``todo`` indices into worker batches by plan affinity."""
+        return plan_affinity_batches(points, todo, self.jobs)
 
-        Points sharing (machine, algorithm, source placement, faults,
-        recover) lower to the same fast-path plan, so keeping them in
-        one worker call lets that process's plan cache serve every
-        point after the first from a warm entry — a sweep varying only
-        message length or seed builds each schedule **once per worker**
-        instead of once per point.  Groups keep first-appearance order.
 
-        With ``jobs > 1`` each group is split into chunks of at most
-        ``ceil(len(todo) / (jobs * 4))`` points so one huge group cannot
-        serialize the pool — the 4x oversubscription keeps workers load-
-        balanced while leaving chunks big enough to amortize the plan.
-        """
-        groups: Dict[Tuple[Any, ...], List[int]] = {}
-        for i in todo:
-            point = points[i]
-            affinity = (
-                point.machine,
-                point.algorithm,
-                point.sources,
-                point.faults,
-                point.recover,
-            )
-            groups.setdefault(affinity, []).append(i)
-        if self.jobs <= 1:
-            return list(groups.values())
-        chunk = max(1, -(-len(todo) // (self.jobs * 4)))
-        batches: List[List[int]] = []
-        for indices in groups.values():
-            for lo in range(0, len(indices), chunk):
-                batches.append(indices[lo:lo + chunk])
-        return batches
+def plan_affinity_batches(
+    points: Sequence[SweepPoint], todo: Sequence[int], jobs: int
+) -> List[List[int]]:
+    """Partition ``todo`` indices into worker batches by plan affinity.
+
+    Points sharing (machine, algorithm, source placement, faults,
+    recover) lower to the same fast-path plan, so keeping them in
+    one worker call lets that process's plan cache serve every
+    point after the first from a warm entry — a sweep varying only
+    message length or seed builds each schedule **once per worker**
+    instead of once per point.  Groups keep first-appearance order.
+
+    With ``jobs > 1`` each group is split into chunks of at most
+    ``ceil(len(todo) / (jobs * 4))`` points so one huge group cannot
+    serialize the pool — the 4x oversubscription keeps workers load-
+    balanced while leaving chunks big enough to amortize the plan.
+    The distributed coordinator (:mod:`repro.sweep.distributed`) cuts
+    its work-lease units with the same function, so shard workers
+    inherit the same amortization.
+    """
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for i in todo:
+        point = points[i]
+        affinity = (
+            point.machine,
+            point.algorithm,
+            point.sources,
+            point.faults,
+            point.recover,
+        )
+        groups.setdefault(affinity, []).append(i)
+    if jobs <= 1:
+        return list(groups.values())
+    chunk = max(1, -(-len(todo) // (jobs * 4)))
+    batches: List[List[int]] = []
+    for indices in groups.values():
+        for lo in range(0, len(indices), chunk):
+            batches.append(indices[lo:lo + chunk])
+    return batches

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import pathlib
 
 from repro.bench.cli import build_executor
 from repro.sweep import ResultCache, SweepExecutor, SweepPoint
@@ -129,6 +131,72 @@ class TestCacheDefense:
         assert len(cache) == 0
         executor.run([POINT])
         assert executor.last_report.computed == 1
+
+
+class TestCacheHygiene:
+    """Temp-file GC and sibling-observation lifecycle."""
+
+    def _warm_observed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(cache=cache, observe=True)
+        executor.run([POINT])
+        return cache
+
+    def test_defective_entry_discards_obs_sibling(self, tmp_path):
+        # Regression: load() deleted a defective result entry but left
+        # its <key>.obs.json sibling orphaned forever — the pair shares
+        # one lifecycle.
+        cache = self._warm_observed(tmp_path)
+        obs_path = cache.obs_path_for(POINT.key())
+        assert obs_path.exists()
+        cache.path_for(POINT.key()).write_text("{ not json !!!")
+        assert cache.load(POINT) is None
+        assert not obs_path.exists()
+
+    def test_stale_tmp_collected_on_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shard_dir = cache.path_for(POINT.key()).parent
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        stale = shard_dir / "deadbeef.json.otherhost.12345.0.tmp"
+        stale.write_text("{}")
+        old = 10_000.0
+        os.utime(stale, (old, old))
+        fresh = shard_dir / "deadbeef.json.otherhost.12345.1.tmp"
+        fresh.write_text("{}")  # young: may belong to a live writer
+        cache.store(POINT, {"elapsed_us": 1}, compute_s=0.1)
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_clear_removes_all_tmp_regardless_of_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(POINT, {"elapsed_us": 1}, compute_s=0.1)
+        shard_dir = cache.path_for(POINT.key()).parent
+        (shard_dir / "x.json.h.1.0.tmp").write_text("{}")
+        cache.clear()
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_tmp_names_unique_per_write(self, tmp_path, monkeypatch):
+        # pid-only suffixes collide across hosts; names must also carry
+        # a hostname token and a per-process counter.
+        from repro.sweep import cache as cache_mod
+
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(pathlib.Path(src).name)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", spy)
+        cache = ResultCache(tmp_path)
+        cache.store(POINT, {"elapsed_us": 1}, compute_s=0.1)
+        cache.store(POINT, {"elapsed_us": 1}, compute_s=0.1)
+        assert len(seen) == len(set(seen)) == 2
+        for name in seen:
+            assert cache_mod._HOST_TOKEN in name
+            assert f".{os.getpid()}." in name
+            assert name.endswith(".tmp")
 
 
 class TestCacheBypass:

@@ -6,6 +6,7 @@ import warnings
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.sweep.cache import ResultCache
 from repro.sweep.executor import JOBS_ENV_VAR, SweepExecutor, resolve_jobs
 from repro.sweep.spec import SweepPoint
@@ -44,6 +45,18 @@ class TestResolveJobs:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_jobs(None) == 2
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_explicit_bad_argument_raises(self, bad):
+        # Regression: an explicit jobs=0 / negative was silently clamped
+        # to 1 — a typo in *code* deserves an error, not a fallback (the
+        # lenient path is reserved for the environment variable).
+        with pytest.raises(ConfigurationError, match="jobs must be >= 1"):
+            resolve_jobs(bad)
+
+    def test_explicit_bad_argument_mentions_env_escape_hatch(self):
+        with pytest.raises(ConfigurationError, match=JOBS_ENV_VAR):
+            resolve_jobs(0)
 
 
 def _point(algorithm="Br_Lin", seed=0):
