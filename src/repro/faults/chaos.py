@@ -36,11 +36,20 @@ protocol delivers — the sweep completes, results stay bit-identical to
 a serial run, every unit lands a done marker, and a warm re-run
 recomputes nothing.
 
+``--io`` turns the same methodology on the **storage layer**
+(:mod:`repro.reliability`): seeded plans from the IO-fault grammar
+(``torn:write@K`` / ``err:ENOSPC@K`` / ``crash@K`` / ``stall:read@K+D``)
+are injected into a sweep worker's filesystem calls, and the invariants
+assert that the reliability layer delivers — the queue stays
+recoverable, corrupt cache entries are quarantined and recomputed
+(never served), and the recovered sweep is bit-identical to serial.
+
 CLI::
 
     python -m repro chaos --trials 25 --seed 7
     python -m repro chaos --trials 1 --seed 7 --trial 13   # replay
     python -m repro chaos --orchestrator --trials 5 --seed 7
+    python -m repro chaos --io --trials 25 --seed 7
 """
 
 from __future__ import annotations
@@ -63,11 +72,15 @@ from repro.faults.spec import (
 
 __all__ = [
     "ChaosTrial",
+    "IOTrial",
     "OrchestratorFault",
     "OrchestratorTrial",
     "Violation",
+    "generate_io_trial",
     "generate_orchestrator_trial",
     "parse_orchestrator_spec",
+    "run_io_trial",
+    "run_io_trials",
     "run_orchestrator_trial",
     "run_orchestrator_trials",
     "run_trial",
@@ -576,6 +589,177 @@ def run_orchestrator_trial(trial: OrchestratorTrial) -> Optional[Violation]:
     return None
 
 
+# -- storage chaos: tear/fail/crash the worker's filesystem calls ----------
+
+#: Grid every IO trial sweeps — the crash harness's tiny grid: four
+#: points in two plan-affinity units, finishing in well under a second.
+_IO_GRID = dict(
+    machines=("paragon:4x4",),
+    distributions=("E",),
+    s_values=(2, 4),
+    message_sizes=(256,),
+    algorithms=("Br_Lin", "2-Step"),
+    seeds=(0,),
+)
+
+#: Fault indices are drawn below this bound — roughly the IO-op count
+#: of one clean drain of the ``_IO_GRID`` queue, so most faults land
+#: inside the run (one past the end is a legal no-op, like a simulated
+#: fault scheduled after the broadcast completes).
+_IO_INDEX_BOUND = 36
+
+
+@dataclass(frozen=True)
+class IOTrial:
+    """One storage-chaos trial: a seeded IO-fault plan vs. one worker."""
+
+    index: int
+    plan_spec: str
+    seed: int
+
+    def describe(self) -> str:
+        return f"trial {self.index}: io faults '{self.plan_spec}'"
+
+
+def generate_io_trial(base_seed: int, index: int) -> IOTrial:
+    """The deterministic storage trial at ``(base_seed, index)``.
+
+    Draws 1–3 faults from the IO grammar (:mod:`repro.reliability`):
+    crashes and torn writes dominate (they are the crash-consistency
+    hazards), injected errnos cover the transient table's common cases,
+    and stalls stay at 10 ms so a 25-trial batch finishes in seconds.
+    """
+    rng = random.Random(f"chaos-io#{base_seed}#{index}")
+    clauses: List[str] = []
+    for _ in range(rng.randint(1, 3)):
+        at = rng.randrange(_IO_INDEX_BOUND)
+        kind = rng.random()
+        if kind < 0.35:
+            clauses.append(f"crash@{at}")
+        elif kind < 0.60:
+            clauses.append(f"torn:write@{at}")
+        elif kind < 0.90:
+            clauses.append(f"err:{rng.choice(('ENOSPC', 'EIO', 'EAGAIN'))}@{at}")
+        else:
+            clauses.append(f"stall:{rng.choice(('read', 'write'))}@{at}+0.01")
+    return IOTrial(index=index, plan_spec=";".join(clauses), seed=base_seed)
+
+
+def run_io_trial(trial: IOTrial) -> Optional[Violation]:
+    """Drive one worker under an IO-fault plan; check the invariants.
+
+    1. **Recoverability** — after the faulty attempts (crashes and
+       exhausted retries are expected), a clean same-owner worker drains
+       the queue: every unit lands a done marker.
+    2. **Bit-identity** — results collected from the surviving cache
+       equal a serial ``SweepExecutor`` run (corrupt entries are
+       quarantined and recomputed, never served).
+    3. **No residual corruption** — after collection touched every
+       point, an offline ``verify_all`` scan finds nothing left to
+       quarantine (everything torn was already caught and rewritten).
+    """
+    import shutil
+    import tempfile
+
+    from repro.errors import ReproError
+    from repro.reliability.iofaults import FaultyIO, SimulatedCrash
+    from repro.sweep import ResultCache, SweepExecutor, SweepSpec
+    from repro.sweep.distributed import (
+        WorkQueue,
+        _collect,
+        _plan_units,
+        run_worker,
+    )
+
+    def violation(invariant: str, detail: str) -> Violation:
+        return Violation(
+            trial=trial.index,
+            invariant=invariant,
+            detail=detail,
+            schedule=trial.plan_spec,
+            shrunk_schedule=trial.plan_spec,
+            algorithm="<storage-worker>",
+            distribution="-",
+        )
+
+    points = SweepSpec(**_IO_GRID).points()
+    serial = [
+        json.dumps(r.to_dict(), sort_keys=True)
+        for r in SweepExecutor(jobs=1).run(points)
+    ]
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-io-")
+    try:
+        cache = ResultCache(os.path.join(workdir, "cache"))
+        run_dir = os.path.join(workdir, "run")
+        payloads, units = _plan_units(points, 2)
+        # Generous TTL: recovery is a same-owner restart (which may
+        # always retake its own lease), not an expiry race.
+        WorkQueue.create(
+            run_dir, payloads, units, cache_dir=cache.root, lease_ttl_s=60.0
+        )
+        io = FaultyIO(trial.plan_spec)
+        # One shared FaultyIO across attempts: its op counter keeps
+        # advancing, so each crash in the plan fires at most once and
+        # the attempt loop is bounded by the fault count.
+        for _ in range(len(io.plan.faults) + 1):
+            try:
+                run_worker(run_dir, "chaos-io-worker", io=io)
+                break
+            except (SimulatedCrash, OSError, ReproError):
+                continue
+        # Clean recovery pass: the restarted worker on a healthy disk.
+        run_worker(run_dir, "chaos-io-worker")
+        queue = WorkQueue.open(run_dir)
+        missing = queue.pending_units()
+        if missing:
+            return violation(
+                "recoverability", f"unit(s) {missing} have no done marker"
+            )
+        results, _ = _collect(queue, points, cache, observe=False)
+        collected = [
+            json.dumps(r.to_dict(), sort_keys=True) for r in results
+        ]
+        if collected != serial:
+            mismatches = sum(1 for a, b in zip(serial, collected) if a != b)
+            return violation(
+                "bit-identity",
+                f"{mismatches}/{len(points)} point(s) differ from serial",
+            )
+        audit = cache.verify_all()
+        if audit.quarantined_now:
+            return violation(
+                "no-residual-corruption",
+                f"verify_all quarantined {audit.quarantined_now} entr(ies) "
+                "that collection should already have caught",
+            )
+    except Exception as exc:  # noqa: BLE001 - any escape is the violation
+        return violation("recoverability", f"{type(exc).__name__}: {exc}")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return None
+
+
+def run_io_trials(
+    trials: int,
+    seed: int,
+    *,
+    only: Optional[int] = None,
+    verbose: bool = True,
+) -> "ChaosReport":
+    """Seeded batch of storage-chaos trials (the ``--io`` mode)."""
+    report = ChaosReport(seed=seed, trials=trials)
+    indices = [only] if only is not None else list(range(trials))
+    for index in indices:
+        trial = generate_io_trial(seed, index)
+        violation = run_io_trial(trial)
+        if verbose:
+            status = "FAIL" if violation is not None else "ok"
+            print(f"  [{status:4s}] {trial.describe()}")
+        if violation is not None:
+            report.violations.append(violation)
+    return report
+
+
 def run_orchestrator_trials(
     trials: int,
     seed: int,
@@ -690,7 +874,42 @@ def main(argv: Optional[List[str]] = None) -> int:
             "simulated machine: kill/stall shard workers mid-sweep"
         ),
     )
+    parser.add_argument(
+        "--io",
+        action="store_true",
+        help=(
+            "target the storage layer instead of the simulated machine: "
+            "tear, fail, stall, and crash the sweep worker's filesystem "
+            "calls (grammar: torn:write@K, err:ENOSPC@K, crash@K, "
+            "stall:read@K+D)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.io:
+        print(f"chaos (io): {args.trials} trial(s), seed {args.seed}")
+        report = run_io_trials(args.trials, args.seed, only=args.trial)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"report written to {args.report}")
+        if report.ok:
+            print(f"all invariants held over {report.trials} trial(s)")
+            return 0
+        for violation in report.violations:
+            print()
+            print(
+                f"VIOLATION [{violation.invariant}] in trial "
+                f"{violation.trial}:"
+            )
+            print(f"  {violation.detail}")
+            print(f"  io faults: {violation.schedule}")
+            print(
+                "  replay:    python -m repro chaos --io --trials 1 "
+                f"--seed {report.seed} --trial {violation.trial}"
+            )
+        print(f"\n{len(report.violations)} violation(s)")
+        return 1
 
     if args.orchestrator:
         print(

@@ -11,8 +11,10 @@ after every figure regeneration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable
+
+from repro.reliability.retry import ReliabilityCounters
 
 __all__ = ["SweepReport", "merge_shard_reports"]
 
@@ -40,6 +42,13 @@ class SweepReport:
         ``cached`` points — the serial time the cache avoided.
     jobs:
         Worker-process count the executor ran with.
+    reliability:
+        :class:`~repro.reliability.retry.ReliabilityCounters` the
+        storage layer accumulated while serving this batch — retries,
+        quarantines, lease steals, fencing rejections, corrupt queue
+        records.  All-zero on a healthy run, and omitted from
+        :meth:`to_dict` in that case so clean-run report bytes are
+        unchanged from earlier formats.
     """
 
     total: int = 0
@@ -49,6 +58,7 @@ class SweepReport:
     busy_s: float = 0.0
     saved_s: float = 0.0
     jobs: int = 1
+    reliability: ReliabilityCounters = field(default_factory=ReliabilityCounters)
 
     @property
     def serial_estimate_s(self) -> float:
@@ -71,6 +81,7 @@ class SweepReport:
         self.busy_s += other.busy_s
         self.saved_s += other.saved_s
         self.jobs = max(self.jobs, other.jobs)
+        self.reliability.merge(other.reliability)
 
     def merge_concurrent(self, other: "SweepReport") -> None:
         """Fold in a report from a shard that ran *concurrently*.
@@ -87,11 +98,18 @@ class SweepReport:
         self.busy_s += other.busy_s
         self.saved_s += other.saved_s
         self.jobs += other.jobs
+        self.reliability.merge(other.reliability)
 
     # -- serialization (shard done-markers and worker hand-off) ----------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON form, for lease done-markers and shard reports."""
-        return {
+        """Plain-JSON form, for lease done-markers and shard reports.
+
+        The ``reliability`` key appears only when one of its counters is
+        nonzero: a clean run's report dict (and its JSON bytes) is
+        identical to the pre-reliability format, which keeps golden
+        fixtures and byte-identity checks stable.
+        """
+        data: Dict[str, Any] = {
             "total": self.total,
             "cached": self.cached,
             "computed": self.computed,
@@ -100,6 +118,9 @@ class SweepReport:
             "saved_s": self.saved_s,
             "jobs": self.jobs,
         }
+        if self.reliability.any():
+            data["reliability"] = self.reliability.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SweepReport":
@@ -112,6 +133,9 @@ class SweepReport:
             busy_s=float(data.get("busy_s", 0.0)),
             saved_s=float(data.get("saved_s", 0.0)),
             jobs=int(data.get("jobs", 1)),
+            reliability=ReliabilityCounters.from_dict(
+                data.get("reliability", {})
+            ),
         )
 
     def since(self, earlier: "SweepReport") -> "SweepReport":
@@ -124,16 +148,20 @@ class SweepReport:
             busy_s=self.busy_s - earlier.busy_s,
             saved_s=self.saved_s - earlier.saved_s,
             jobs=self.jobs,
+            reliability=self.reliability.since(earlier.reliability),
         )
 
     def summary(self) -> str:
         """One-line progress rendering for CLI output."""
-        return (
+        line = (
             f"sweep: {self.total} point(s) "
             f"({self.cached} cached, {self.computed} computed) "
             f"in {self.wall_s:.2f}s "
             f"[jobs={self.jobs}, ~{self.speedup:.1f}x vs cold serial]"
         )
+        if self.reliability.any():
+            line += f" (reliability: {self.reliability.summary()})"
+        return line
 
 
 def merge_shard_reports(reports: Iterable[SweepReport]) -> SweepReport:

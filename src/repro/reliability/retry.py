@@ -1,0 +1,229 @@
+"""Error classification, deterministic backoff, reliability counters.
+
+Three error classes drive how the sweep's workers and coordinator react
+to a failure (:func:`classify_error`):
+
+* **transient** — worth retrying in place: the environmental ``OSError``
+  family a loaded shared filesystem throws off (``ENOSPC``, ``EIO``,
+  ``EAGAIN``, ``ESTALE``, ...) plus ``TimeoutError``.  Retried with
+  bounded, deterministically-jittered exponential backoff
+  (:func:`with_backoff`).
+* **poison** — deterministic evaluation failures
+  (:class:`~repro.errors.ReproError`: verification errors,
+  algorithm/machine mismatches).  Retrying re-fails identically under
+  every worker, so these are *recorded* in the unit's done marker and
+  the unit finishes instead of ping-ponging between stealers.
+* **fatal** — everything else (permissions, programming errors):
+  propagate immediately; retrying would loop on a bug.
+
+The backoff jitter is *deterministic*: attempt ``i`` of a call keyed
+``key`` sleeps ``min(max_s, base_s * 2**i) * u`` where ``u`` is drawn
+from ``random.Random(f"{key}#{i}")`` in ``[0.5, 1.0)`` — replayable
+from logs, no cross-worker thundering herd, and no dependence on global
+RNG state (the same hash-randomisation-independent string-seeding the
+chaos harness uses).
+
+:class:`ReliabilityCounters` accumulates what the layer observed —
+retries, quarantines, steals, fencing rejections, corrupt queue
+records — and folds into
+:class:`~repro.metrics.progress.SweepReport` so a sweep's roll-up says
+not just how fast it ran but what it survived.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Optional, TypeVar
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "ReliabilityCounters",
+    "RetryPolicy",
+    "TRANSIENT_ERRNOS",
+    "classify_error",
+    "with_backoff",
+]
+
+T = TypeVar("T")
+
+#: ``OSError`` errnos worth retrying: resource pressure and flaky
+#: shared-filesystem conditions that can clear on their own.  Notably
+#: *not* here: EACCES/EPERM/EROFS (misconfiguration — retry loops
+#: forever) and ENOENT (a miss, not an error).
+TRANSIENT_ERRNOS = frozenset(
+    getattr(errno, name)
+    for name in (
+        "EAGAIN",
+        "EBUSY",
+        "EDQUOT",
+        "EINTR",
+        "EIO",
+        "EMFILE",
+        "ENFILE",
+        "ENOSPC",
+        "ESTALE",
+        "ETIMEDOUT",
+    )
+    if hasattr(errno, name)
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` | ``"poison"`` | ``"fatal"`` for one exception.
+
+    The order matters: :class:`~repro.errors.ReproError` is checked
+    first (a deterministic evaluation failure wrapped in a library type
+    is poison even if it chains an ``OSError``), then the transient
+    ``OSError`` table, then everything else is fatal.
+    """
+    if isinstance(exc, ReproError):
+        return "poison"
+    if isinstance(exc, TimeoutError):
+        return "transient"
+    if isinstance(exc, OSError) and exc.errno in TRANSIENT_ERRNOS:
+        return "transient"
+    return "fatal"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds of one backoff loop: attempts and sleep envelope."""
+
+    #: Total tries including the first (so ``attempts=1`` never sleeps).
+    attempts: int = 4
+    #: First retry's nominal delay, doubled per further attempt.
+    base_s: float = 0.02
+    #: Ceiling on any single delay.
+    max_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigurationError(
+                f"RetryPolicy.attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_s < 0.0 or self.max_s < 0.0:
+            raise ConfigurationError(
+                "RetryPolicy delays must be >= 0, got "
+                f"base_s={self.base_s}, max_s={self.max_s}"
+            )
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Deterministically jittered delay before retry ``attempt``.
+
+        ``attempt`` counts failed tries so far (1 = first retry).  The
+        jitter multiplier lives in ``[0.5, 1.0)``: never more than the
+        exponential envelope, never degenerate-zero.
+        """
+        nominal = min(self.max_s, self.base_s * (2.0 ** (attempt - 1)))
+        jitter = 0.5 + 0.5 * random.Random(f"{key}#{attempt}").random()
+        return nominal * jitter
+
+
+#: Shared default policy for worker/coordinator storage retries.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def with_backoff(
+    fn: Callable[[], T],
+    *,
+    key: str,
+    policy: RetryPolicy = DEFAULT_RETRY,
+    counters: Optional["ReliabilityCounters"] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn``, retrying **transient** failures with backoff.
+
+    Poison and fatal errors propagate on the first throw; a transient
+    one is retried up to ``policy.attempts`` total tries, sleeping
+    ``policy.delay_s(key, attempt)`` between them and bumping
+    ``counters.retries`` per retry.  The final transient failure
+    propagates unchanged, so callers see the real ``OSError``.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as exc:
+            attempt += 1
+            if classify_error(exc) != "transient" or attempt >= policy.attempts:
+                raise
+            if counters is not None:
+                counters.retries += 1
+            sleep(policy.delay_s(key, attempt))
+
+
+@dataclass
+class ReliabilityCounters:
+    """What the storage layer survived, as mergeable counters.
+
+    Attributes
+    ----------
+    retries:
+        Transient-failure retries performed by :func:`with_backoff`.
+    quarantines:
+        Cache entries that failed verification and were moved to the
+        quarantine directory (each with a reason record).
+    steals:
+        Expired/corrupt leases taken over by another worker.
+    fencing_rejections:
+        Release/renew attempts refused because the caller's fencing
+        token was stale — a stalled worker waking up after its unit
+        was stolen and finished.
+    corrupt_records:
+        Unreadable queue records (leases/done markers) swallowed by
+        ``_read_json`` — previously silent, now accounted.
+    """
+
+    retries: int = 0
+    quarantines: int = 0
+    steals: int = 0
+    fencing_rejections: int = 0
+    corrupt_records: int = 0
+
+    def merge(self, other: "ReliabilityCounters") -> None:
+        """Fold another counter set into this one (all fields sum)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def snapshot(self) -> "ReliabilityCounters":
+        """An independent copy (for before/after deltas)."""
+        return ReliabilityCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def since(self, earlier: "ReliabilityCounters") -> "ReliabilityCounters":
+        """Counter delta relative to an earlier snapshot."""
+        return ReliabilityCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def any(self) -> bool:
+        """True when any counter is nonzero."""
+        return any(getattr(self, f.name) for f in fields(self))
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-JSON form (only ever emitted when :meth:`any`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReliabilityCounters":
+        """Inverse of :meth:`to_dict` (tolerates missing/extra keys)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in known})
+
+    def summary(self) -> str:
+        """Compact human rendering of the nonzero counters."""
+        parts = [
+            f"{f.name.replace('_', ' ')}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name)
+        ]
+        return ", ".join(parts) if parts else "clean"

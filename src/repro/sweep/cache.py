@@ -2,15 +2,31 @@
 
 Entries are JSON files named by the sweep point's content hash
 (:meth:`~repro.sweep.spec.SweepPoint.key`), sharded into 256 two-hex
-subdirectories.  Each entry stores the point's full identity payload,
+subdirectories.  Each entry wraps the point's full identity payload,
 the serialized :class:`~repro.core.runner.BroadcastResult`, and the
-original compute duration (which feeds the speedup counters).
+original compute duration (which feeds the speedup counters) in a
+self-verifying ``repro-cache/2`` envelope
+(:mod:`repro.reliability.envelope`): an embedded sha256 of the
+payload's canonical JSON, recomputed and checked on every read, so a
+torn write or bit rot can never be served as truth.  Legacy plain
+(v1) entries remain readable — unverified, exactly as trustworthy as
+they always were — and are rewritten as v2 on the next store.
 
 The cache is defensive by design: a corrupted, truncated, or
-wrong-format entry is silently discarded and recomputed — a cache must
-never be able to fail a sweep.  Writes are atomic (temp file +
-``os.replace``), so a crashed writer leaves at worst a stray temp file,
-never a half-written entry served as truth.
+wrong-format entry counts as a miss and is recomputed — a cache must
+never be able to fail a sweep.  But defects are **quarantined, never
+deleted**: the bad bytes move to ``<root>/quarantine/`` beside a
+``.reason.json`` record naming what failed, preserving the evidence
+(was it a torn write? a stale format? a flipped bit?) instead of
+destroying it.  Writes are atomic (temp file + ``replace``), so a
+crashed writer leaves at worst a stray temp file, never a half-written
+entry served as truth.
+
+Every filesystem call routes through an injectable
+:class:`~repro.reliability.iofaults.IOBackend`, so tests and the
+crash-consistency harness can make exactly the K-th operation tear,
+fail, or kill the process.  What the cache survives is accounted in
+:class:`~repro.reliability.retry.ReliabilityCounters`.
 
 The cache directory may be **shared across processes and hosts** (the
 distributed sweep's only coordination channel, see
@@ -31,11 +47,25 @@ import re
 import shutil
 import socket
 import time
-from typing import Any, Dict, Optional, Tuple, Union
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.errors import ConfigurationError
+from repro.reliability.envelope import EnvelopeError, open_envelope, seal_envelope
+from repro.reliability.iofaults import RAW_IO, IOBackend
+from repro.reliability.retry import ReliabilityCounters
 from repro.sweep.spec import SweepPoint
 
-__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "CacheAudit",
+    "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
+    "ResultCache",
+    "TMP_MAX_AGE_S",
+    "TMP_TTL_ENV_VAR",
+    "resolve_tmp_ttl",
+]
 
 #: Default cache location for the CLIs (overridable via ``--cache-dir``).
 DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/sweep")
@@ -45,6 +75,13 @@ DEFAULT_CACHE_DIR = pathlib.Path("~/.cache/repro/sweep")
 #: healthy writer holds a temp file for milliseconds; ten minutes leaves
 #: generous headroom for a paused process on a loaded host.
 TMP_MAX_AGE_S = 600.0
+
+#: Environment override for the stale-temp threshold (seconds).
+TMP_TTL_ENV_VAR = "REPRO_CACHE_TMP_TTL_S"
+
+#: Subdirectory quarantined defects move to.  Deliberately longer than
+#: the two-hex shard names, so ``??/*.json`` globs never see it.
+QUARANTINE_DIR = "quarantine"
 
 #: Host component of temp names, filesystem-safe.  Distinguishes
 #: writers on different hosts sharing one cache directory.
@@ -65,11 +102,106 @@ _REQUIRED_RESULT_FIELDS = (
 )
 
 
-class ResultCache:
-    """Filesystem-backed memoization of sweep-point results."""
+def resolve_tmp_ttl(tmp_ttl_s: Optional[float] = None) -> float:
+    """Effective stale-temp threshold: argument > env var > 600 s.
 
-    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+    Validation mirrors :func:`~repro.sweep.executor.resolve_jobs`: an
+    unusable *explicit* argument (negative, NaN) raises
+    :class:`~repro.errors.ConfigurationError` — the caller asked for an
+    impossible threshold and clamping would hide the bug.  An unusable
+    ``$REPRO_CACHE_TMP_TTL_S`` falls back to the default — but loudly,
+    with a :class:`RuntimeWarning` naming the bad value, so a typo'd
+    shell profile does not silently make every worker reap its
+    neighbours' live temp files (``TTL=0``) or never reap at all.
+    Zero is a legal explicit value (reap everything now, the
+    :meth:`ResultCache.clear` semantics) but rejected from the
+    environment, where it is far more likely a mangled export than a
+    deliberate choice.
+    """
+    if tmp_ttl_s is not None:
+        tmp_ttl_s = float(tmp_ttl_s)
+        if not tmp_ttl_s >= 0.0:  # catches NaN too
+            raise ConfigurationError(
+                f"tmp_ttl_s must be >= 0, got {tmp_ttl_s}; pass "
+                f"tmp_ttl_s=None to defer to ${TMP_TTL_ENV_VAR}"
+            )
+        return tmp_ttl_s
+    raw = os.environ.get(TMP_TTL_ENV_VAR, "")
+    if not raw:
+        return TMP_MAX_AGE_S
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {TMP_TTL_ENV_VAR}={raw!r}: not a number; using "
+            f"the default ({TMP_MAX_AGE_S:g}s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return TMP_MAX_AGE_S
+    if not value > 0.0:
+        warnings.warn(
+            f"ignoring {TMP_TTL_ENV_VAR}={raw!r}: threshold must be "
+            f"> 0; using the default ({TMP_MAX_AGE_S:g}s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return TMP_MAX_AGE_S
+    return value
+
+
+@dataclass
+class CacheAudit:
+    """Outcome of one offline :meth:`ResultCache.verify_all` scan."""
+
+    #: v2 entries whose sha256 verified.
+    verified: int = 0
+    #: Legacy v1 entries (readable, structurally intact, unverifiable).
+    legacy_v1: int = 0
+    #: Defects found *by this scan* and moved to quarantine.
+    quarantined_now: int = 0
+    #: Entries sitting in the quarantine directory after the scan.
+    quarantined_total: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.verified} verified, {self.legacy_v1} legacy-v1, "
+            f"{self.quarantined_now} newly quarantined "
+            f"({self.quarantined_total} total in quarantine)"
+        )
+
+
+class ResultCache:
+    """Filesystem-backed memoization of sweep-point results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    io:
+        Filesystem backend; tests inject
+        :class:`~repro.reliability.iofaults.FaultyIO` here.
+    tmp_ttl_s:
+        Stale-temp threshold override; ``None`` defers to
+        ``$REPRO_CACHE_TMP_TTL_S`` then :data:`TMP_MAX_AGE_S`
+        (see :func:`resolve_tmp_ttl`).
+    counters:
+        Shared :class:`~repro.reliability.retry.ReliabilityCounters` to
+        account quarantines into; a private instance when omitted.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        *,
+        io: IOBackend = RAW_IO,
+        tmp_ttl_s: Optional[float] = None,
+        counters: Optional[ReliabilityCounters] = None,
+    ) -> None:
         self.root = pathlib.Path(root).expanduser()
+        self.io = io
+        self.tmp_ttl_s = resolve_tmp_ttl(tmp_ttl_s)
+        self.counters = counters if counters is not None else ReliabilityCounters()
 
     def path_for(self, key: str) -> pathlib.Path:
         """Entry path for a content hash."""
@@ -84,39 +216,48 @@ class ResultCache:
         """
         return self.root / key[:2] / f"{key}.obs.json"
 
+    @property
+    def quarantine_root(self) -> pathlib.Path:
+        """Directory quarantined defects are moved to."""
+        return self.root / QUARANTINE_DIR
+
     # -- read --------------------------------------------------------------
     def load(self, point: SweepPoint) -> Optional[Tuple[Dict[str, Any], float]]:
         """``(result_dict, original_compute_seconds)`` or ``None`` on miss.
 
-        Any defect — unreadable file, invalid JSON, missing fields, or a
-        stored payload that does not match the point (stale format, hash
-        collision) — counts as a miss; the bad entry is deleted *together
-        with its observation sibling* so both are recomputed and
-        rewritten rather than tripping every future run.  (Leaving the
+        Any defect — unreadable file, invalid JSON, a failed envelope
+        checksum, missing fields, or a stored payload that does not
+        match the point (stale format, hash collision) — counts as a
+        miss; the bad entry is quarantined *together with its
+        observation sibling* so both are recomputed and rewritten
+        rather than tripping every future run.  (Leaving the
         ``<key>.obs.json`` sibling behind would let a stale-format
-        observation survive the recompute and be served beside the fresh
-        result.)
+        observation survive the recompute and be served beside the
+        fresh result.)
         """
         key = point.key()
         path = self.path_for(key)
         try:
-            text = path.read_text()
+            text = self.io.read_text(path)
         except OSError:
             return None
         try:
-            entry = json.loads(text)
-            if entry["point"] != point.payload():
+            body, _version = open_envelope(text)
+            if body["point"] != point.payload():
                 raise ValueError("stored payload does not match the point")
-            result = entry["result"]
+            result = body["result"]
             for field in _REQUIRED_RESULT_FIELDS:
                 if field not in result:
                     raise KeyError(field)
             # A missing compute_s is a format defect like any other —
             # defaulting it to 0.0 would silently zero the speedup
-            # accounting — so KeyError here discards and recomputes.
-            compute_s = float(entry["compute_s"])
-        except (ValueError, KeyError, TypeError):
-            self._discard(key)
+            # accounting — so KeyError here quarantines and recomputes.
+            compute_s = float(body["compute_s"])
+        except EnvelopeError as exc:
+            self._quarantine(key, str(exc))
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(key, f"bad-entry: {exc}")
             return None
         return result, compute_s
 
@@ -125,24 +266,27 @@ class ResultCache:
 
         ``None`` also covers entries cached before observability existed
         (or by an unobserved sweep) — a result hit with no observation
-        is normal, not a defect, so nothing is deleted here unless the
-        file itself is corrupt or stale.
+        is normal, not a defect, so nothing is quarantined here unless
+        the file itself is corrupt or stale.
         """
-        path = self.obs_path_for(point.key())
+        key = point.key()
+        path = self.obs_path_for(key)
         try:
-            entry = json.loads(path.read_text())
-            if entry["point"] != point.payload():
-                raise ValueError("stored payload does not match the point")
-            observation = entry["observation"]
-            if not isinstance(observation, dict):
-                raise TypeError("observation must be a dict")
+            text = self.io.read_text(path)
         except OSError:
             return None
-        except (ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        try:
+            body, _version = open_envelope(text)
+            if body["point"] != point.payload():
+                raise ValueError("stored payload does not match the point")
+            observation = body["observation"]
+            if not isinstance(observation, dict):
+                raise TypeError("observation must be a dict")
+        except EnvelopeError as exc:
+            self._quarantine(key, str(exc), paths=[path])
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(key, f"bad-entry: {exc}", paths=[path])
             return None
         return observation
 
@@ -150,23 +294,23 @@ class ResultCache:
     def store(
         self, point: SweepPoint, result: Dict[str, Any], compute_s: float
     ) -> None:
-        """Persist one evaluated point (atomic replace)."""
-        entry = {
+        """Persist one evaluated point (atomic replace, v2 envelope)."""
+        body = {
             "point": point.payload(),
             "result": result,
             "compute_s": compute_s,
         }
-        self._write_atomic(self.path_for(point.key()), entry)
+        self._write_atomic(self.path_for(point.key()), seal_envelope(body))
 
     def store_observation(
         self, point: SweepPoint, observation: Dict[str, Any]
     ) -> None:
         """Persist one point's observation summary (atomic replace)."""
-        entry = {"point": point.payload(), "observation": observation}
-        self._write_atomic(self.obs_path_for(point.key()), entry)
+        body = {"point": point.payload(), "observation": observation}
+        self._write_atomic(self.obs_path_for(point.key()), seal_envelope(body))
 
     def _write_atomic(self, path: pathlib.Path, entry: Dict[str, Any]) -> None:
-        """Temp-file + ``os.replace`` write, with stale-temp GC.
+        """Temp-file + ``replace`` write, with stale-temp GC.
 
         The temp name is unique per (host, pid, in-process counter):
         concurrent writers — including workers on *different hosts*
@@ -175,13 +319,60 @@ class ResultCache:
         complete entry (all writers of one key produce identical results,
         so which one wins is immaterial).
         """
-        path.parent.mkdir(parents=True, exist_ok=True)
+        self.io.mkdir(path.parent)
         self.gc_stale_tmp(path.parent)
         tmp = path.with_name(
             f"{path.name}.{_HOST_TOKEN}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
         )
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        os.replace(tmp, path)
+        self.io.write_text(tmp, json.dumps(entry, sort_keys=True))
+        self.io.replace(tmp, path)
+
+    # -- quarantine --------------------------------------------------------
+    def _quarantine(
+        self,
+        key: str,
+        reason: str,
+        *,
+        paths: Optional[List[pathlib.Path]] = None,
+    ) -> None:
+        """Move defective files for ``key`` aside, with a reason record.
+
+        Defaults to the entry and its observation sibling.  Each moved
+        file keeps its name under ``quarantine/``; a ``.reason.json``
+        record per key states what failed and when, so the evidence of
+        *why* a recompute happened survives the recompute.  A second
+        quarantine of the same key overwrites the first — the latest
+        corrupt copy is the interesting one.  Failures here degrade to
+        the old delete-free behaviour (the entry stays, the next read
+        re-trips); quarantine is best-effort evidence preservation, and
+        a cache must never be able to fail a sweep.
+        """
+        if paths is None:
+            paths = [self.path_for(key), self.obs_path_for(key)]
+        self.io.mkdir(self.quarantine_root)
+        moved = []
+        for path in paths:
+            try:
+                self.io.replace(path, self.quarantine_root / path.name)
+                moved.append(path.name)
+            except OSError:
+                pass  # missing sibling, or the move itself failed
+        if not moved:
+            return
+        self.counters.quarantines += 1
+        record = {
+            "key": key,
+            "reason": reason,
+            "files": moved,
+            "quarantined_at": time.time(),
+        }
+        try:
+            self.io.write_text(
+                self.quarantine_root / f"{key}.reason.json",
+                json.dumps(record, sort_keys=True),
+            )
+        except OSError:
+            pass  # the moved bytes are the evidence; the record is a bonus
 
     # -- maintenance -------------------------------------------------------
     def gc_stale_tmp(
@@ -194,12 +385,12 @@ class ResultCache:
         A writer that dies between creating its temp file and the atomic
         replace leaks ``<key>.json.<host>.<pid>.<n>.tmp`` forever.  Every
         write sweeps its own shard directory (cheap: shard dirs are
-        256-way), deleting temp files older than ``max_age_s`` (default
-        :data:`TMP_MAX_AGE_S`) — young ones may belong to a live writer
-        mid-replace and are left alone.  With no ``directory``, sweeps
-        the whole cache.
+        256-way), deleting temp files older than ``max_age_s`` (default:
+        this cache's resolved ``tmp_ttl_s``) — young ones may belong to
+        a live writer mid-replace and are left alone.  With no
+        ``directory``, sweeps the whole cache.
         """
-        age_limit = TMP_MAX_AGE_S if max_age_s is None else max_age_s
+        age_limit = self.tmp_ttl_s if max_age_s is None else max_age_s
         cutoff = time.time() - age_limit
         if directory is not None:
             candidates = directory.glob("*.tmp")
@@ -209,19 +400,57 @@ class ResultCache:
         for tmp in candidates:
             try:
                 if tmp.stat().st_mtime <= cutoff:
-                    tmp.unlink()
+                    self.io.unlink(tmp)
                     removed += 1
             except OSError:
                 pass  # vanished under a concurrent GC, or unreadable
         return removed
 
-    def _discard(self, key: str) -> None:
-        """Delete a defective entry and its observation sibling."""
-        for path in (self.path_for(key), self.obs_path_for(key)):
+    def verify_all(self) -> CacheAudit:
+        """Offline integrity scan of every result entry.
+
+        Opens each ``??/*.json`` entry through the envelope layer: a
+        verifying v2 entry counts ``verified``; a structurally intact
+        legacy entry counts ``legacy_v1`` (nothing to verify against);
+        anything else — bad JSON, failed checksum, missing fields — is
+        quarantined exactly as a sweep-time read would, and counts
+        ``quarantined_now``.  Payload/point agreement is *not* checked
+        (the scan has no :class:`~repro.sweep.spec.SweepPoint` to
+        compare against); a wrong-payload entry is caught at load time.
+        """
+        audit = CacheAudit()
+        for path in sorted(self.root.glob("??/*.json")):
+            if path.name.endswith(".obs.json"):
+                continue
+            key = path.name[: -len(".json")]
             try:
-                path.unlink()
+                text = self.io.read_text(path)
             except OSError:
-                pass
+                continue  # vanished under a concurrent writer
+            try:
+                body, version = open_envelope(text)
+                if version == "v1":
+                    # Structural check only — the best a v1 entry offers.
+                    result = body["result"]
+                    for field in _REQUIRED_RESULT_FIELDS:
+                        if field not in result:
+                            raise KeyError(field)
+                    float(body["compute_s"])
+                    audit.legacy_v1 += 1
+                else:
+                    audit.verified += 1
+            except EnvelopeError as exc:
+                self._quarantine(key, str(exc))
+                audit.quarantined_now += 1
+            except (ValueError, KeyError, TypeError) as exc:
+                self._quarantine(key, f"bad-entry: {exc}")
+                audit.quarantined_now += 1
+        audit.quarantined_total = sum(
+            1
+            for p in self.quarantine_root.glob("*.json")
+            if not p.name.endswith(".reason.json")
+        )
+        return audit
 
     def __len__(self) -> int:
         """Number of result entries on disk (observations not counted)."""

@@ -73,6 +73,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="attach as a shard worker to an existing --run-dir",
     )
     parser.add_argument(
+        "--verify-cache",
+        action="store_true",
+        help=(
+            "offline integrity scan of --cache-dir: verify every entry's "
+            "envelope checksum, quarantine fresh corruption, report "
+            "verified/legacy-v1/quarantined counts (exit 1 on fresh "
+            "corruption); no sweep is run"
+        ),
+    )
+    parser.add_argument(
         "--run-dir",
         default=None,
         metavar="DIR",
@@ -146,6 +156,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
+        if args.verify_cache:
+            if args.cache_dir is None:
+                parser.error("--verify-cache requires --cache-dir")
+            audit = ResultCache(args.cache_dir).verify_all()
+            print(f"cache audit: {audit.summary()}")
+            # Fresh corruption is an exit-worthy finding: something
+            # between the last sweep and now damaged stored bytes, and
+            # CI (or an operator) should notice even though the cache
+            # itself already degraded the damage to a future recompute.
+            return 1 if audit.quarantined_now else 0
+
         if args.worker:
             if args.run_dir is None:
                 parser.error("--worker requires --run-dir")

@@ -19,22 +19,41 @@ wasted work but never wrong work.  That turns every distributed-systems
 hazard here into a performance footnote:
 
 * **claim** — a worker takes a unit by ``O_CREAT | O_EXCL``-creating its
-  lease file (atomic on POSIX and NFSv3+); losers move on.
+  lease file (atomic on POSIX and NFSv3+); losers move on.  A claim
+  hands back a **fencing token**: a per-unit counter that increases on
+  every claim and steal, never resets (an abandoned lease leaves an
+  expired tombstone, not an unlink), and must be presented on every
+  renew and release.
 * **renew** — the lease carries an expiry stamp; the worker re-stamps it
-  (atomic temp + ``os.replace``) while evaluating long units.
+  (atomic temp + ``os.replace``) while evaluating long units.  A renew
+  with a stale fence is refused: the unit was stolen while this worker
+  was stalled, and the thief's fence now rules.
 * **release** — the worker writes a durable *done marker* (with its
-  shard's :class:`~repro.metrics.progress.SweepReport` slice) and only
-  then drops the lease.
+  shard's :class:`~repro.metrics.progress.SweepReport` slice and its
+  fence) and only then drops the lease.  Release refuses when a done
+  marker already exists or the lease no longer carries the caller's
+  owner *and* fence — a worker SIGSTOPped past its TTL that wakes up
+  after a stealer finished the unit cannot overwrite the stealer's
+  released record.
 * **steal** — a lease whose expiry has passed belongs to a worker that
   was SIGKILLed, SIGSTOPped, or wedged; any idle worker overwrites it
-  and re-evaluates the unit.  Points the dead worker already finished
-  are in the cache, so the stealer's pass over the unit re-serves them
-  as hits instead of recomputing.
+  (fence + 1) and re-evaluates the unit.  Points the dead worker
+  already finished are in the cache, so the stealer's pass over the
+  unit re-serves them as hits instead of recomputing.
 * **race** — two stealers can both believe they own a unit after an
-  expiry; both evaluate it, both write identical results through the
-  cache's atomic replace, both write equivalent done markers.  The
-  read-back after stealing shrinks the window; idempotency makes what
-  remains harmless.
+  expiry; the read-back after stealing picks one winner, and fencing
+  rejects the loser's release.  If both somehow proceed, idempotency
+  makes what remains harmless.
+
+Every filesystem call routes through an injectable
+:class:`~repro.reliability.iofaults.IOBackend` so the crash-consistency
+harness (:mod:`repro.reliability.harness`) can kill the protocol at
+*every* IO-op index and assert it recovers.  Transient storage errors
+(ENOSPC, EIO, ...) are retried with bounded, deterministically-jittered
+backoff (:mod:`repro.reliability.retry`); deterministic evaluation
+failures are *poison* — recorded in the done marker so the unit
+finishes instead of ping-ponging between stealers; everything else is
+fatal and kills the worker, whose leases then expire and are stolen.
 
 Resumption needs no recovery pass: re-running the coordinator against
 the same run directory (or the same cache with a fresh one) skips done
@@ -61,6 +80,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.runner import ENGINES, BroadcastResult
 from repro.errors import ConfigurationError, DistributedSweepError
 from repro.metrics.progress import SweepReport, merge_shard_reports
+from repro.reliability.iofaults import RAW_IO, IOBackend
+from repro.reliability.retry import (
+    DEFAULT_RETRY,
+    ReliabilityCounters,
+    RetryPolicy,
+    with_backoff,
+)
 from repro.sweep.cache import ResultCache
 from repro.sweep.executor import (
     evaluate_point,
@@ -90,18 +116,43 @@ DEFAULT_LEASE_TTL_S = 30.0
 DEFAULT_POLL_S = 0.05
 
 
-def _write_json_atomic(path: pathlib.Path, data: Dict[str, Any]) -> None:
-    """Temp + ``os.replace`` write; unique temp name per call."""
+def _write_json_atomic(
+    path: pathlib.Path, data: Dict[str, Any], *, io: IOBackend = RAW_IO
+) -> None:
+    """Temp + ``replace`` write; unique temp name per call."""
     tmp = path.with_name(f"{path.name}.{uuid.uuid4().hex}.tmp")
-    tmp.write_text(json.dumps(data, sort_keys=True))
-    os.replace(tmp, path)
+    io.write_text(tmp, json.dumps(data, sort_keys=True))
+    io.replace(tmp, path)
 
 
-def _read_json(path: pathlib.Path) -> Optional[Dict[str, Any]]:
-    """Parsed JSON or ``None`` (missing file, or a mid-replace read)."""
+def _read_json(
+    path: pathlib.Path,
+    *,
+    io: IOBackend = RAW_IO,
+    counters: Optional[ReliabilityCounters] = None,
+) -> Optional[Dict[str, Any]]:
+    """Parsed JSON or ``None`` (missing file, or a mid-replace read).
+
+    A *missing* file is an ordinary miss.  An unreadable or unparseable
+    one is swallowed too — the queue must stay drivable past a torn
+    record, which the protocol treats as "unclaimed" — but it is no
+    longer swallowed *silently*: each such defect bumps
+    ``counters.corrupt_records``, so a run that survived corruption
+    says so in its report.
+    """
     try:
-        return json.loads(path.read_text())
-    except (OSError, ValueError):
+        text = io.read_text(path)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        if counters is not None:
+            counters.corrupt_records += 1
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        if counters is not None:
+            counters.corrupt_records += 1
         return None
 
 
@@ -111,17 +162,29 @@ class WorkQueue:
     Layout under the run directory::
 
         manifest.json        immutable: payloads, units, cache dir, knobs
-        leases/unit-K.lease  {owner, expires_unix, claims} while claimed
-        done/unit-K.json     {owner, report, [errors]} once finished
+        leases/unit-K.lease  {owner, fence, expires_unix, claims}
+        done/unit-K.json     {owner, fence, report, [errors]} once finished
 
     Every mutation is a whole-file atomic write; the only cross-process
     primitive beyond that is the exclusive create used by :meth:`claim`.
+    The ``fence`` field is the unit's monotonic fencing token: it grows
+    on every claim/steal and survives abandonment (an abandoned lease
+    becomes an *expired tombstone*, never an unlink, so a later claim
+    can never reuse a fence an earlier owner still holds).
     """
 
-    def __init__(self, run_dir: Union[str, pathlib.Path]) -> None:
+    def __init__(
+        self,
+        run_dir: Union[str, pathlib.Path],
+        *,
+        io: IOBackend = RAW_IO,
+        counters: Optional[ReliabilityCounters] = None,
+    ) -> None:
         self.run_dir = pathlib.Path(run_dir).expanduser()
         self.lease_dir = self.run_dir / "leases"
         self.done_dir = self.run_dir / "done"
+        self.io = io
+        self.counters = counters if counters is not None else ReliabilityCounters()
         self._manifest: Optional[Dict[str, Any]] = None
 
     # -- creation / opening ------------------------------------------------
@@ -136,11 +199,13 @@ class WorkQueue:
         engine: str = "auto",
         observe: bool = False,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        io: IOBackend = RAW_IO,
+        counters: Optional[ReliabilityCounters] = None,
     ) -> "WorkQueue":
         """Write a fresh queue (coordinator side)."""
-        queue = cls(run_dir)
-        queue.lease_dir.mkdir(parents=True, exist_ok=True)
-        queue.done_dir.mkdir(parents=True, exist_ok=True)
+        queue = cls(run_dir, io=io, counters=counters)
+        queue.io.mkdir(queue.lease_dir)
+        queue.io.mkdir(queue.done_dir)
         manifest = {
             "schema": RUN_SCHEMA,
             "cache_dir": str(pathlib.Path(cache_dir).expanduser()),
@@ -150,14 +215,20 @@ class WorkQueue:
             "payloads": list(payloads),
             "units": [list(unit) for unit in units],
         }
-        _write_json_atomic(queue.manifest_path, manifest)
+        _write_json_atomic(queue.manifest_path, manifest, io=queue.io)
         queue._manifest = manifest
         return queue
 
     @classmethod
-    def open(cls, run_dir: Union[str, pathlib.Path]) -> "WorkQueue":
+    def open(
+        cls,
+        run_dir: Union[str, pathlib.Path],
+        *,
+        io: IOBackend = RAW_IO,
+        counters: Optional[ReliabilityCounters] = None,
+    ) -> "WorkQueue":
         """Open an existing queue (worker side); validates the manifest."""
-        queue = cls(run_dir)
+        queue = cls(run_dir, io=io, counters=counters)
         queue.manifest  # noqa: B018 - raises on a missing/foreign dir
         return queue
 
@@ -168,7 +239,9 @@ class WorkQueue:
     @property
     def manifest(self) -> Dict[str, Any]:
         if self._manifest is None:
-            data = _read_json(self.manifest_path)
+            data = _read_json(
+                self.manifest_path, io=self.io, counters=self.counters
+            )
             if data is None or data.get("schema") != RUN_SCHEMA:
                 raise ConfigurationError(
                     f"{self.run_dir} is not a sweep run directory "
@@ -214,7 +287,7 @@ class WorkQueue:
 
     # -- state reads -------------------------------------------------------
     def is_done(self, unit: int) -> bool:
-        return self.done_path(unit).exists()
+        return self.io.exists(self.done_path(unit))
 
     def pending_units(self) -> List[int]:
         """Units with no done marker, in manifest order."""
@@ -222,10 +295,14 @@ class WorkQueue:
 
     def lease_of(self, unit: int) -> Optional[Dict[str, Any]]:
         """The current lease record, or ``None`` (unclaimed/corrupt)."""
-        return _read_json(self.lease_path(unit))
+        return _read_json(
+            self.lease_path(unit), io=self.io, counters=self.counters
+        )
 
     def done_record(self, unit: int) -> Optional[Dict[str, Any]]:
-        return _read_json(self.done_path(unit))
+        return _read_json(
+            self.done_path(unit), io=self.io, counters=self.counters
+        )
 
     def done_reports(self) -> List[SweepReport]:
         """Per-unit shard reports of every finished unit."""
@@ -246,59 +323,88 @@ class WorkQueue:
         return out
 
     # -- lease protocol ----------------------------------------------------
-    def claim(self, unit: int, owner: str) -> bool:
+    def claim(self, unit: int, owner: str) -> int:
         """Try to take ``unit``'s lease; crash-safe, steal-on-expiry.
 
+        Returns the claim's **fencing token** (a positive int the caller
+        must present to :meth:`renew` and :meth:`release`), or ``0``
+        when the unit is done or leased by a live peer — truthiness
+        keeps the old boolean call sites working.
+
         The fresh-claim path is an exclusive create — two workers racing
-        an unclaimed unit cannot both win.  An existing lease is stolen
-        only once its expiry stamp has passed (the previous owner died
-        or wedged; a live one renews at half-TTL).
+        an unclaimed unit cannot both win.  An existing lease (live,
+        expired, or an abandonment tombstone) is taken over only via
+        :meth:`_steal`, which increments the fence past every token ever
+        issued for the unit.
         """
         if self.is_done(unit):
-            return False
+            return 0
         path = self.lease_path(unit)
         record = {
             "owner": owner,
+            "fence": 1,
             "expires_unix": time.time() + self.lease_ttl_s,
             "claims": 1,
         }
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            self.io.create_excl(path, json.dumps(record, sort_keys=True))
         except FileExistsError:
             return self._steal(unit, owner)
-        with os.fdopen(fd, "w") as handle:
-            json.dump(record, handle, sort_keys=True)
-        return True
+        return 1
 
-    def _steal(self, unit: int, owner: str) -> bool:
-        """Take over an expired (or corrupt) lease; back off from live ones."""
+    def _steal(self, unit: int, owner: str) -> int:
+        """Take over an expired (or corrupt) lease; back off from live ones.
+
+        Returns the new fence, or ``0`` when the lease is live under a
+        different owner or a concurrent stealer won the read-back.
+        """
         current = self.lease_of(unit)
         if (
             current is not None
             and current.get("owner") != owner
             and float(current.get("expires_unix", 0.0)) > time.time()
         ):
-            return False  # live lease held by someone else
+            return 0  # live lease held by someone else
+        fence = int((current or {}).get("fence", 0)) + 1
         record = {
             "owner": owner,
+            "fence": fence,
             "expires_unix": time.time() + self.lease_ttl_s,
             "claims": int((current or {}).get("claims", 0)) + 1,
         }
-        _write_json_atomic(self.lease_path(unit), record)
+        _write_json_atomic(self.lease_path(unit), record, io=self.io)
         # Read-back: a concurrent stealer may have replaced our record.
-        # The loser backs off; if both somehow proceed, idempotent
-        # evaluation + atomic cache writes keep the results identical.
+        # The loser backs off; if both somehow proceed, fencing rejects
+        # the loser's release and idempotent evaluation + atomic cache
+        # writes keep the results identical either way.
         final = self.lease_of(unit)
-        return final is not None and final.get("owner") == owner
+        if (
+            final is None
+            or final.get("owner") != owner
+            or int(final.get("fence", 0)) != fence
+        ):
+            return 0
+        if current is not None:
+            self.counters.steals += 1
+        return fence
 
-    def renew(self, unit: int, owner: str) -> bool:
+    def renew(self, unit: int, owner: str, fence: Optional[int] = None) -> bool:
         """Re-stamp ``owner``'s lease; ``False`` means the lease was lost
-        (expired and stolen) and the worker should abandon the unit."""
+        (expired and stolen) and the worker should abandon the unit.
+
+        With ``fence`` given, a matching owner under a *different* fence
+        is refused too — the unit was stolen and released back into a
+        state this worker no longer owns, even if the owner string
+        coincides — and the refusal counts as a fencing rejection.
+        """
         current = self.lease_of(unit)
         if current is None or current.get("owner") != owner:
             return False
+        if fence is not None and int(current.get("fence", 0)) != fence:
+            self.counters.fencing_rejections += 1
+            return False
         current["expires_unix"] = time.time() + self.lease_ttl_s
-        _write_json_atomic(self.lease_path(unit), current)
+        _write_json_atomic(self.lease_path(unit), current, io=self.io)
         return True
 
     def release(
@@ -307,41 +413,75 @@ class WorkQueue:
         owner: str,
         report: SweepReport,
         errors: Optional[List[Dict[str, Any]]] = None,
-    ) -> None:
+        *,
+        fence: Optional[int] = None,
+    ) -> bool:
         """Mark ``unit`` finished: durable done marker first, lease after.
 
         Ordering matters — a crash between the two writes leaves a done
         unit with a stale lease, which every reader treats as done (the
         done marker always wins).  The reverse order would leave a
         finished unit looking stealable.
+
+        Returns ``False`` — and writes nothing — when the release is
+        **fenced off**: a done marker already exists (a stealer finished
+        the unit first), or the lease no longer carries this caller's
+        owner and fence (it was stolen and is being re-driven).  A
+        stalled worker waking up past its TTL therefore cannot overwrite
+        a stealer's released record; its computed points are already in
+        the cache, so nothing of value is discarded with the refusal.
         """
+        if self.is_done(unit):
+            self.counters.fencing_rejections += 1
+            return False
+        current = self.lease_of(unit)
+        if current is None or current.get("owner") != owner:
+            self.counters.fencing_rejections += 1
+            return False
+        if fence is not None and int(current.get("fence", 0)) != fence:
+            self.counters.fencing_rejections += 1
+            return False
         record: Dict[str, Any] = {
             "unit": unit,
             "owner": owner,
+            "fence": int(current.get("fence", 0)),
             "report": report.to_dict(),
         }
         if errors:
             record["errors"] = errors
-        _write_json_atomic(self.done_path(unit), record)
+        _write_json_atomic(self.done_path(unit), record, io=self.io)
         try:
-            self.lease_path(unit).unlink()
+            self.io.unlink(self.lease_path(unit))
         except OSError:
             pass
+        return True
 
     def abandon(self, unit: int, owner: str) -> None:
-        """Drop ``owner``'s lease without finishing (clean worker exit)."""
+        """Drop ``owner``'s lease without finishing (clean worker exit).
+
+        The lease is *expired in place* (a tombstone), not unlinked:
+        unlinking would let the next claimant's exclusive create restart
+        the fence at 1, resurrecting tokens this owner may still hold.
+        The tombstone keeps the fence monotonic — the next claim steals
+        it at ``fence + 1`` — at the cost of one stale file that the
+        done-marker write cleans up when the unit eventually finishes.
+        """
         current = self.lease_of(unit)
         if current is not None and current.get("owner") == owner:
-            try:
-                self.lease_path(unit).unlink()
-            except OSError:
-                pass
+            tombstone = dict(current)
+            tombstone["expires_unix"] = 0.0
+            _write_json_atomic(self.lease_path(unit), tombstone, io=self.io)
 
 
 # -- worker ----------------------------------------------------------------
 
 def _evaluate_unit(
-    queue: WorkQueue, unit: int, owner: str, cache: ResultCache
+    queue: WorkQueue,
+    unit: int,
+    owner: str,
+    fence: int,
+    cache: ResultCache,
+    retry: RetryPolicy = DEFAULT_RETRY,
 ) -> Optional[Tuple[SweepReport, List[Dict[str, Any]]]]:
     """Evaluate one unit's points against the shared cache.
 
@@ -349,6 +489,12 @@ def _evaluate_unit(
     mid-unit (the stealer is already re-driving it; everything computed
     so far is durable in the cache, so nothing is lost by backing off).
     Renewal happens at half-TTL so a live worker is never stolen from.
+
+    Error handling is classified (:mod:`repro.reliability.retry`):
+    evaluation failures are deterministic — poison — and recorded so
+    the unit finishes; cache-store failures are storage trouble,
+    retried with bounded backoff when transient and propagated when
+    not (the worker dies, the lease expires, a peer steals the unit).
     """
     payloads = [queue.payloads[i] for i in queue.units[unit]]
     report = SweepReport(total=len(payloads), jobs=1)
@@ -357,7 +503,7 @@ def _evaluate_unit(
     next_renew = time.time() + queue.lease_ttl_s / 2.0
     for payload in payloads:
         if time.time() >= next_renew:
-            if not queue.renew(unit, owner):
+            if not queue.renew(unit, owner, fence):
                 return None
             next_renew = time.time() + queue.lease_ttl_s / 2.0
         point = SweepPoint.from_payload(payload)
@@ -371,15 +517,14 @@ def _evaluate_unit(
                 result_dict, seconds, observation = evaluate_point_observed(
                     payload
                 )
-                cache.store(point, result_dict, seconds)
-                cache.store_observation(point, observation)
             else:
                 result_dict, seconds = evaluate_point(payload, queue.engine)
-                cache.store(point, result_dict, seconds)
+                observation = None
         except Exception as exc:  # noqa: BLE001 - recorded, not re-stolen
-            # A deterministic evaluation failure (verification error,
-            # algorithm/machine mismatch) would fail again under every
-            # stealer — record it in the done marker so the unit
+            # Evaluation is a pure function of the payload, so *any*
+            # failure here (verification error, algorithm/machine
+            # mismatch) is poison: it would fail again under every
+            # stealer.  Record it in the done marker so the unit
             # *finishes* instead of ping-ponging between workers, and
             # let the coordinator surface it at collection time.
             errors.append(
@@ -389,6 +534,20 @@ def _evaluate_unit(
                 }
             )
             continue
+        key = point.key()
+        with_backoff(
+            lambda: cache.store(point, result_dict, seconds),
+            key=f"store:{key}",
+            policy=retry,
+            counters=cache.counters,
+        )
+        if observation is not None:
+            with_backoff(
+                lambda: cache.store_observation(point, observation),
+                key=f"store-obs:{key}",
+                policy=retry,
+                counters=cache.counters,
+            )
         report.computed += 1
         report.busy_s += seconds
     report.wall_s = time.perf_counter() - start
@@ -402,6 +561,9 @@ def run_worker(
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
     poll_s: float = DEFAULT_POLL_S,
     max_units: Optional[int] = None,
+    io: IOBackend = RAW_IO,
+    retry: RetryPolicy = DEFAULT_RETRY,
+    counters: Optional[ReliabilityCounters] = None,
 ) -> SweepReport:
     """Drain work units from ``run_dir`` until the whole run is done.
 
@@ -413,12 +575,27 @@ def run_worker(
     (for hosts that mount the shared cache at a different path);
     ``max_units`` bounds the units this worker will finish (testing).
 
+    ``io`` routes every queue *and* cache filesystem call through an
+    injectable backend (the crash harness passes a
+    :class:`~repro.reliability.iofaults.FaultyIO` here); ``retry``
+    bounds the transient-failure backoff; ``counters`` shares a
+    :class:`~repro.reliability.retry.ReliabilityCounters` with the
+    caller (a private one when omitted).
+
     Returns this worker's shard :class:`SweepReport` (sequential within
-    the worker, so unit reports fold with :meth:`SweepReport.merge`).
+    the worker, so unit reports fold with :meth:`SweepReport.merge`);
+    each released unit's report carries the reliability-counter delta
+    accumulated while driving that unit, so steals, retries, and
+    quarantines survive into the done markers.
     """
-    queue = WorkQueue.open(run_dir)
+    counters = counters if counters is not None else ReliabilityCounters()
+    queue = WorkQueue.open(run_dir, io=io, counters=counters)
     owner = worker_id or f"worker-{uuid.uuid4().hex[:12]}-pid{os.getpid()}"
-    cache = ResultCache(cache_dir if cache_dir is not None else queue.cache_dir)
+    cache = ResultCache(
+        cache_dir if cache_dir is not None else queue.cache_dir,
+        io=io,
+        counters=counters,
+    )
     shard = SweepReport(jobs=1)
     finished = 0
     while True:
@@ -429,17 +606,21 @@ def run_worker(
         for unit in pending:
             if max_units is not None and finished >= max_units:
                 return shard
-            if not queue.claim(unit, owner):
+            before = counters.snapshot()
+            fence = queue.claim(unit, owner)
+            if not fence:
                 continue
             if queue.is_done(unit):
                 # Raced a done marker written after our claim check.
                 queue.abandon(unit, owner)
                 continue
-            outcome = _evaluate_unit(queue, unit, owner, cache)
+            outcome = _evaluate_unit(queue, unit, owner, fence, cache, retry)
             if outcome is None:
                 continue  # lease stolen mid-unit; the thief finishes it
             report, errors = outcome
-            queue.release(unit, owner, report, errors)
+            report.reliability = counters.since(before)
+            if not queue.release(unit, owner, report, errors, fence=fence):
+                continue  # fenced off: a stealer finished the unit first
             shard.merge(report)
             finished += 1
             progressed = True
@@ -502,26 +683,60 @@ def _collect(
     points: Sequence[SweepPoint],
     cache: ResultCache,
     observe: bool,
+    retry: RetryPolicy = DEFAULT_RETRY,
 ) -> Tuple[List[BroadcastResult], Optional[List[Optional[Dict[str, Any]]]]]:
-    """Load every point's result (and observation) from the cache."""
+    """Load every point's result (and observation) from the cache.
+
+    A miss here is usually fatal (the run is "done" yet a point has no
+    result), but it can also be transient — a read that raced a writer's
+    atomic replace on a network filesystem, or a quarantined-then-
+    recomputed entry mid-flight — so each point gets the same bounded,
+    deterministically-jittered retry budget the workers use before the
+    coordinator gives up.
+    """
     results: List[BroadcastResult] = []
     observations: Optional[List[Optional[Dict[str, Any]]]] = (
         [] if observe else None
     )
     for point in points:
         hit = cache.load(point)
+        for attempt in range(1, retry.attempts):
+            if hit is not None:
+                break
+            cache.counters.retries += 1
+            time.sleep(retry.delay_s(f"collect:{point.key()}", attempt))
+            hit = cache.load(point)
         if hit is None:
             errors = queue.errors()
-            detail = (
-                "; ".join(e["error"] for e in errors[:3])
-                if errors
-                else "no worker recorded an error"
+            if any(e.get("point") == point.payload() for e in errors):
+                detail = "; ".join(e["error"] for e in errors[:3])
+                raise DistributedSweepError(
+                    f"distributed sweep finished but {point.algorithm} on "
+                    f"{point.machine} (seed {point.seed}) has no cached "
+                    f"result: {detail}"
+                )
+            # No worker recorded a failure for this point, yet its unit
+            # is done and the entry is gone — a torn write published
+            # corrupt bytes that verify-on-read just quarantined, or the
+            # entry was lost after release.  Purity makes recompute-at-
+            # collect safe (and cheap: it is one point, not the unit).
+            payload = point.payload()
+            if observe:
+                result_dict, seconds, observation = evaluate_point_observed(
+                    payload
+                )
+            else:
+                result_dict, seconds = evaluate_point(payload, queue.engine)
+                observation = None
+            with_backoff(
+                lambda: cache.store(point, result_dict, seconds),
+                key=f"collect-store:{point.key()}",
+                policy=retry,
+                counters=cache.counters,
             )
-            raise DistributedSweepError(
-                f"distributed sweep finished but {point.algorithm} on "
-                f"{point.machine} (seed {point.seed}) has no cached "
-                f"result: {detail}"
-            )
+            if observation is not None:
+                cache.store_observation(point, observation)
+            hit = (result_dict, seconds)
         results.append(BroadcastResult.from_dict(hit[0]))
         if observations is not None:
             observations.append(cache.load_observation(point))
@@ -539,6 +754,8 @@ def run_sharded(
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     poll_s: float = DEFAULT_POLL_S,
     worker_hook: Optional[Callable[[List[Any]], None]] = None,
+    io: IOBackend = RAW_IO,
+    retry: RetryPolicy = DEFAULT_RETRY,
 ) -> DistributedSweepResult:
     """Shard ``points`` across worker processes; returns aligned results.
 
@@ -551,14 +768,21 @@ def run_sharded(
     cache in input order.
 
     Fault tolerance is structural: a killed or stalled worker's leases
-    expire and surviving workers steal them; if *every* spawned worker
-    dies, the coordinator drains the queue in-process, so this function
-    completes whenever evaluation itself is completable.  Passing an
-    existing ``run_dir`` resumes that run: done units are skipped
-    outright and cached points are served, not recomputed.
+    expire and surviving workers steal them (fenced, so the stalled
+    original cannot clobber the thief's release); if *every* spawned
+    worker dies, the coordinator drains the queue in-process, so this
+    function completes whenever evaluation itself is completable.
+    Passing an existing ``run_dir`` resumes that run: done units are
+    skipped outright and cached points are served, not recomputed.  A
+    resume whose manifest was corrupted by a crash is recut from the
+    input points — but only while no unit has finished (done markers
+    index into the manifest; recutting under them would misalign the
+    run, so that case stays a hard error).
 
     ``worker_hook`` (testing/chaos) receives the spawned process list —
     the chaos harness uses it to kill and stall workers mid-sweep.
+    ``io`` and ``retry`` govern the *coordinator's* queue/cache IO and
+    backoff (spawned workers always run on the real filesystem).
 
     Results are **bit-identical** to ``SweepExecutor(jobs=1).run(points)``.
     """
@@ -584,12 +808,25 @@ def run_sharded(
         raise ConfigurationError(f"shards must be >= 1, got {shards}")
 
     wall_start = time.perf_counter()
+    counters_start = cache.counters.snapshot()
     if run_dir is None:
         run_dir = cache.root / "runs" / f"run-{uuid.uuid4().hex[:16]}"
     run_path = pathlib.Path(run_dir).expanduser()
+    queue: Optional[WorkQueue] = None
     if (run_path / "manifest.json").exists():
-        queue = WorkQueue.open(run_path)  # resume an interrupted run
-    else:
+        try:
+            queue = WorkQueue.open(run_path, io=io, counters=cache.counters)
+        except ConfigurationError:
+            # The manifest is unreadable — a coordinator crashed mid-
+            # write.  While nothing has finished, the run has no state
+            # worth preserving and the manifest can be recut from the
+            # inputs; once done markers exist their unit indices are
+            # bound to the *old* manifest, and guessing would silently
+            # misassign results, so surface the corruption instead.
+            if any((run_path / "done").glob("unit-*.json")):
+                raise
+            cache.counters.corrupt_records += 1
+    if queue is None:
         payloads, units = _plan_units(points, shards)
         queue = WorkQueue.create(
             run_path,
@@ -599,6 +836,8 @@ def run_sharded(
             engine=engine,
             observe=observe,
             lease_ttl_s=lease_ttl_s,
+            io=io,
+            counters=cache.counters,
         )
 
     # Spawn (not fork) mirrors detached `--worker` processes: each shard
@@ -628,8 +867,10 @@ def run_sharded(
                 # Every spawned worker died (or none were needed).  The
                 # coordinator becomes the worker of last resort: leases
                 # of the dead expire and are stolen in-process, so the
-                # run still finishes.
-                run_worker(run_path, "coordinator", poll_s=poll_s)
+                # run still finishes.  Its counter deltas flow through
+                # the unit reports it releases, like any worker's.
+                run_worker(run_path, "coordinator", poll_s=poll_s, io=io,
+                           retry=retry)
                 break
             time.sleep(poll_s)
     finally:
@@ -639,12 +880,16 @@ def run_sharded(
                 proc.terminate()
                 proc.join(timeout=5.0)
 
-    results, observations = _collect(queue, points, cache, observe)
+    results, observations = _collect(queue, points, cache, observe, retry)
     unit_reports = queue.done_reports()
     report = merge_shard_reports(unit_reports)
     report.total = len(points)
     report.wall_s = time.perf_counter() - wall_start
     report.jobs = max(shards, 1)
+    # Unit reports carry what the workers survived; fold in what the
+    # coordinator itself saw (quarantines and corrupt records during
+    # manifest handling and collection).
+    report.reliability.merge(cache.counters.since(counters_start))
     return DistributedSweepResult(
         results=results,
         report=report,

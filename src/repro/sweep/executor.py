@@ -287,6 +287,9 @@ class SweepExecutor:
         """
         wall_start = time.perf_counter()
         report = SweepReport(total=len(points), jobs=self.jobs)
+        reliability_start = (
+            self.cache.counters.snapshot() if self.cache is not None else None
+        )
         result_dicts: List[Optional[Dict[str, Any]]] = [None] * len(points)
         observations: List[Optional[Dict[str, Any]]] = [None] * len(points)
         first_index_by_key: Dict[str, int] = {}
@@ -349,6 +352,12 @@ class SweepExecutor:
             observations[i] = observations[j]
 
         report.wall_s = time.perf_counter() - wall_start
+        if reliability_start is not None:
+            # Quarantines and retries the cache performed while serving
+            # this batch belong to this batch's report.
+            report.reliability.merge(
+                self.cache.counters.since(reliability_start)
+            )
         self.last_report = report
         if self.observe:
             self.last_observations = observations

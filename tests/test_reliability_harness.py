@@ -1,0 +1,99 @@
+"""Crash-consistency harness and storage-chaos (``--io``) coverage.
+
+The ``storage-chaos`` CI job runs this module: it pins the tentpole
+acceptance criterion — a crash injected at *every* counted IO operation
+of a distributed sweep leaves the cache unserving of unverified bytes,
+the queue recoverable, and the resumed sweep bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import chaos
+from repro.reliability.harness import (
+    CrashConsistencyReport,
+    run_crash_consistency,
+)
+
+
+class TestCrashConsistency:
+    def test_crash_at_every_io_op(self):
+        # The acceptance sweep: one crash point per counted IO op of the
+        # probe run, every invariant checked on the wreckage each time.
+        report = run_crash_consistency()
+        assert report.ok, report.violations
+        assert report.ops > 20  # the probe saw a real IO sequence
+        assert report.checked == report.ops
+        assert report.summary().endswith("ok")
+
+    def test_max_ops_truncates_the_sweep(self):
+        report = run_crash_consistency(max_ops=3)
+        assert report.ok
+        assert report.checked == 3
+
+    def test_report_flags_violations(self):
+        report = CrashConsistencyReport(ops=5, checked=5)
+        assert report.ok
+        report.violations.append((2, "cache-integrity", "synthetic"))
+        assert not report.ok
+        assert "1 violation(s)" in report.summary()
+
+
+class TestIoTrialGeneration:
+    def test_same_coordinates_reproduce_the_trial(self):
+        assert chaos.generate_io_trial(7, 3) == chaos.generate_io_trial(7, 3)
+
+    def test_indices_vary_the_plan(self):
+        plans = {chaos.generate_io_trial(7, i).plan_spec for i in range(8)}
+        assert len(plans) > 1
+
+    def test_plans_stay_parseable_and_bounded(self):
+        from repro.reliability import IOFaultPlan
+
+        for index in range(25):
+            trial = chaos.generate_io_trial(0, index)
+            plan = IOFaultPlan.parse(trial.plan_spec)
+            assert 1 <= len(plan.faults) <= 3
+            assert all(f.index < chaos._IO_INDEX_BOUND for f in plan.faults)
+
+    def test_describe_names_the_replay_coordinates(self):
+        trial = chaos.generate_io_trial(7, 3)
+        assert "trial 3" in trial.describe()
+        assert trial.plan_spec in trial.describe()
+
+
+class TestIoInvariants:
+    def test_small_batch_holds_all_invariants(self):
+        report = chaos.run_io_trials(6, 20260808, verbose=False)
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert report.trials == 6
+
+    def test_single_trial_replay(self):
+        report = chaos.run_io_trials(25, 7, only=13, verbose=False)
+        assert report.ok
+
+
+class TestIoCli:
+    def test_io_flag_runs_the_storage_batch(self, capsys):
+        code = chaos.main(["--io", "--trials", "2", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "io faults" in out
+        assert "all invariants held over 2 trial(s)" in out
+
+    def test_io_replay_flag_runs_one_trial(self, capsys):
+        code = chaos.main(["--io", "--trials", "25", "--seed", "7", "--trial", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trial 3:" in out
+        assert "trial 2:" not in out
+
+
+class TestHarnessCli:
+    def test_module_entrypoint(self, capsys):
+        from repro.reliability import harness
+
+        code = harness.main()
+        assert code == 0
+        assert "crash-consistency:" in capsys.readouterr().out

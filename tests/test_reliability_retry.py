@@ -1,0 +1,164 @@
+"""Error classification, backoff, and reliability-counter tests."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError, VerificationError
+from repro.reliability import (
+    ReliabilityCounters,
+    RetryPolicy,
+    classify_error,
+    with_backoff,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            OSError(errno.ENOSPC, "disk full"),
+            OSError(errno.EIO, "io error"),
+            OSError(errno.EAGAIN, "again"),
+            OSError(errno.ESTALE, "stale nfs handle"),
+            TimeoutError("slow"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert classify_error(exc) == "transient"
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ReproError("deterministic"),
+            VerificationError("payload mismatch"),
+            ConfigurationError("bad knob"),
+        ],
+    )
+    def test_poison(self, exc):
+        assert classify_error(exc) == "poison"
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            PermissionError(errno.EACCES, "denied"),
+            OSError(errno.EROFS, "read-only"),
+            ValueError("bug"),
+            KeyError("bug"),
+        ],
+    )
+    def test_fatal(self, exc):
+        assert classify_error(exc) == "fatal"
+
+    def test_repro_error_wins_even_as_oserror_subclass_chain(self):
+        # A library error chained from a transient OSError is still
+        # deterministic from the caller's view: poison, not transient.
+        exc = ReproError("wrapped")
+        exc.__cause__ = OSError(errno.ENOSPC, "disk full")
+        assert classify_error(exc) == "poison"
+
+
+class TestBackoff:
+    def test_transient_retried_then_succeeds(self):
+        counters = ReliabilityCounters()
+        naps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(errno.ENOSPC, "full")
+            return "ok"
+
+        out = with_backoff(
+            flaky, key="unit", counters=counters, sleep=naps.append
+        )
+        assert out == "ok"
+        assert calls["n"] == 3
+        assert counters.retries == 2
+        assert len(naps) == 2
+        assert naps[1] > naps[0] * 1.2  # exponential envelope grows
+
+    def test_jitter_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.delay_s("k", 1) == policy.delay_s("k", 1)
+        assert policy.delay_s("k", 1) != policy.delay_s("k", 2)
+        assert policy.delay_s("k", 1) != policy.delay_s("other", 1)
+        nominal = policy.base_s
+        assert nominal * 0.5 <= policy.delay_s("k", 1) < nominal
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(attempts=20, base_s=0.1, max_s=0.4)
+        assert policy.delay_s("k", 15) <= 0.4
+
+    def test_fatal_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def buggy():
+            calls["n"] += 1
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            with_backoff(buggy, key="k", sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_poison_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def poisoned():
+            calls["n"] += 1
+            raise VerificationError("always fails")
+
+        with pytest.raises(VerificationError):
+            with_backoff(poisoned, key="k", sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_exhaustion_propagates_the_real_error(self):
+        policy = RetryPolicy(attempts=3)
+
+        def hopeless():
+            raise OSError(errno.EIO, "dead disk")
+
+        with pytest.raises(OSError) as excinfo:
+            with_backoff(
+                hopeless, key="k", policy=policy, sleep=lambda _s: None
+            )
+        assert excinfo.value.errno == errno.EIO
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_s=-1.0)
+
+
+class TestCounters:
+    def test_merge_and_any(self):
+        a = ReliabilityCounters(retries=2, steals=1)
+        b = ReliabilityCounters(quarantines=3, steals=4)
+        a.merge(b)
+        assert a == ReliabilityCounters(retries=2, quarantines=3, steals=5)
+        assert a.any()
+        assert not ReliabilityCounters().any()
+
+    def test_snapshot_and_since(self):
+        live = ReliabilityCounters(retries=1)
+        before = live.snapshot()
+        live.retries += 4
+        live.fencing_rejections += 2
+        delta = live.since(before)
+        assert delta == ReliabilityCounters(retries=4, fencing_rejections=2)
+        before.retries = 99  # snapshot is independent of the live object
+        assert live.retries == 5
+
+    def test_dict_roundtrip_tolerates_unknown_keys(self):
+        c = ReliabilityCounters(corrupt_records=7, quarantines=1)
+        data = dict(c.to_dict(), future_counter=42)
+        assert ReliabilityCounters.from_dict(data) == c
+
+    def test_summary(self):
+        assert ReliabilityCounters().summary() == "clean"
+        text = ReliabilityCounters(retries=2, fencing_rejections=1).summary()
+        assert "retries=2" in text and "fencing rejections=1" in text

@@ -8,7 +8,20 @@ import os
 import pathlib
 
 from repro.bench.cli import build_executor
+from repro.reliability.envelope import seal_envelope
 from repro.sweep import ResultCache, SweepExecutor, SweepPoint
+
+
+def rewrite_body(path, mutate):
+    """Unwrap a v2 entry, mutate its body, and re-seal it (valid sha256).
+
+    Keeps these defect tests pointed at the *field-validation* layer:
+    mutating the body without re-sealing would trip the checksum first
+    and never reach the semantic checks.
+    """
+    body = json.loads(path.read_text())["body"]
+    mutate(body)
+    path.write_text(json.dumps(seal_envelope(body), sort_keys=True))
 
 POINT = SweepPoint(
     machine="paragon:4x4",
@@ -88,9 +101,7 @@ class TestCacheDefense:
     def test_missing_result_field_recomputed(self, tmp_path):
         cache, executor, good = self.baseline(tmp_path)
         path = cache.path_for(POINT.key())
-        entry = json.loads(path.read_text())
-        del entry["result"]["elapsed_us"]
-        path.write_text(json.dumps(entry))
+        rewrite_body(path, lambda body: body["result"].pop("elapsed_us"))
         again = executor.run([POINT])[0]
         assert executor.last_report.computed == 1
         assert again.elapsed_us == good.elapsed_us
@@ -98,14 +109,13 @@ class TestCacheDefense:
     def test_missing_compute_s_recomputed(self, tmp_path):
         # Regression: a missing compute_s used to be served as 0.0,
         # silently zeroing the entry's contribution to saved-time
-        # accounting.  Absence is a format defect: discard + recompute.
+        # accounting.  Absence is a format defect: quarantine + recompute.
         cache, executor, good = self.baseline(tmp_path)
         path = cache.path_for(POINT.key())
-        entry = json.loads(path.read_text())
-        del entry["compute_s"]
-        path.write_text(json.dumps(entry))
+        rewrite_body(path, lambda body: body.pop("compute_s"))
         assert cache.load(POINT) is None
-        assert not path.exists()  # defect deleted, not left to trip again
+        assert not path.exists()  # quarantined, not left to trip again
+        assert (cache.quarantine_root / path.name).exists()
         again = executor.run([POINT])[0]
         assert executor.last_report.computed == 1
         assert again.elapsed_us == good.elapsed_us
@@ -118,11 +128,9 @@ class TestCacheDefense:
         # written by a different format version) must not be served.
         cache, executor, _ = self.baseline(tmp_path)
         path = cache.path_for(POINT.key())
-        entry = json.loads(path.read_text())
-        entry["point"]["seed"] = 999
-        path.write_text(json.dumps(entry))
+        rewrite_body(path, lambda body: body["point"].update(seed=999))
         assert cache.load(POINT) is None
-        assert not path.exists()  # defect deleted, not left to trip again
+        assert not path.exists()  # quarantined, not left to trip again
 
     def test_clear_and_len(self, tmp_path):
         cache, executor, _ = self.baseline(tmp_path)

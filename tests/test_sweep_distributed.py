@@ -28,6 +28,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.metrics.progress import SweepReport
+from repro.reliability import ReliabilityCounters
 from repro.sweep import ResultCache, SweepExecutor, SweepSpec
 from repro.sweep.distributed import (
     WorkQueue,
@@ -234,8 +235,13 @@ class TestWorkQueue:
         queue.abandon(0, "b")  # not the owner: no-op
         assert queue.lease_of(0)["owner"] == "a"
         queue.abandon(0, "a")
-        assert queue.lease_of(0) is None
-        assert queue.claim(0, "b")
+        # Abandonment leaves an *expired tombstone*, not an unlink —
+        # unlinking would reset the fence on the next exclusive create.
+        tombstone = queue.lease_of(0)
+        assert tombstone["owner"] == "a"
+        assert tombstone["expires_unix"] == 0.0
+        fence = queue.claim(0, "b")
+        assert fence == tombstone["fence"] + 1  # monotonic across abandon
 
     def test_corrupt_lease_is_stolen(self, tmp_path):
         queue = self._queue(tmp_path)
@@ -258,6 +264,117 @@ class TestWorkQueue:
         shard = run_worker(queue.run_dir, "solo")
         assert shard.computed == 4
         assert queue.pending_units() == []
+
+
+class TestFencing:
+    """Monotonic fencing tokens: a stalled worker cannot clobber a steal."""
+
+    def _queue(self, tmp_path, counters=None, units=2):
+        payloads = [
+            {"machine": "paragon:4x4", "seed": i} for i in range(units)
+        ]
+        return WorkQueue.create(
+            tmp_path / "run",
+            payloads,
+            [[i] for i in range(units)],
+            cache_dir=tmp_path / "cache",
+            lease_ttl_s=0.4,
+            counters=counters,
+        )
+
+    def test_fence_grows_across_steals(self, tmp_path):
+        queue = self._queue(tmp_path)
+        assert queue.claim(0, "a") == 1
+        time.sleep(0.5)
+        assert queue.claim(0, "b") == 2
+        time.sleep(0.5)
+        assert queue.claim(0, "c") == 3
+
+    def test_stale_fence_renew_refused_and_counted(self, tmp_path):
+        counters = ReliabilityCounters()
+        queue = self._queue(tmp_path, counters=counters)
+        old = queue.claim(0, "w")
+        time.sleep(0.5)
+        new = queue.claim(0, "w")  # the same worker re-claims after a stall
+        assert new == old + 1
+        # A renew presented under the pre-stall fence is the signature
+        # of a worker that slept past its TTL: refused and counted.
+        assert not queue.renew(0, "w", fence=old)
+        assert counters.fencing_rejections == 1
+        assert queue.renew(0, "w", fence=new)
+        assert counters.fencing_rejections == 1
+
+    def test_stale_fence_release_refused(self, tmp_path):
+        counters = ReliabilityCounters()
+        queue = self._queue(tmp_path, counters=counters)
+        old = queue.claim(0, "w")
+        time.sleep(0.5)
+        new = queue.claim(0, "w")
+        report = SweepReport(total=1, computed=1, jobs=1)
+        assert not queue.release(0, "w", report, fence=old)
+        assert not queue.is_done(0)  # the fenced release wrote nothing
+        assert counters.fencing_rejections == 1
+        assert queue.release(0, "w", report, fence=new)
+        assert queue.done_record(0)["fence"] == new
+
+    def test_done_marker_fences_late_releases(self, tmp_path):
+        counters = ReliabilityCounters()
+        queue = self._queue(tmp_path, counters=counters)
+        fence = queue.claim(0, "a")
+        report = SweepReport(total=1, computed=1, jobs=1)
+        assert queue.release(0, "a", report, fence=fence)
+        # A straggler who also evaluated the unit arrives after the done
+        # marker landed: refused, and the first done record is untouched.
+        assert not queue.release(0, "a", report, fence=fence)
+        assert counters.fencing_rejections == 1
+        assert queue.done_record(0)["owner"] == "a"
+
+    def test_two_stealers_racing_one_expired_lease(self, tmp_path):
+        """Satellite: read-back verify under concurrent re-claim.
+
+        Both stealers may transiently believe they won (each can pass
+        its own read-back before the other's write lands), but the lease
+        file names exactly one owner, and fencing + the done marker let
+        exactly one of them release.
+        """
+        counters = ReliabilityCounters()
+        queue = self._queue(tmp_path, counters=counters)
+        assert queue.claim(0, "victim") == 1
+        time.sleep(0.5)  # the victim stalls past its TTL
+
+        barrier = threading.Barrier(2)
+        fences = {}
+
+        def steal(owner):
+            barrier.wait()
+            fences[owner] = queue.claim(0, owner)
+
+        threads = [
+            threading.Thread(target=steal, args=(o,)) for o in ("s1", "s2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        winners = {o: f for o, f in fences.items() if f}
+        assert winners, "an expired lease must be stealable"
+        final = queue.lease_of(0)
+        assert final["owner"] in winners
+        assert counters.steals >= 1
+        # Every accepted fence is past the victim's, so the victim is
+        # fenced out no matter how long it stalls.
+        assert all(f > 1 for f in winners.values())
+        assert not queue.renew(0, "victim", fence=1)
+        # Exactly one stealer completes the unit; the loser is fenced
+        # off by owner mismatch or by the done marker, never clobbers.
+        report = SweepReport(total=1, computed=1, jobs=1)
+        released = [
+            queue.release(0, owner, report, fence=fence)
+            for owner, fence in sorted(winners.items())
+        ]
+        assert sum(released) == 1
+        assert queue.done_record(0)["owner"] == final["owner"]
 
 
 def _store_race(cache_dir, key_payload, result_dict, rounds):
