@@ -1,9 +1,17 @@
 """Shared machinery for the figure-regeneration bench targets.
 
-Each bench target runs one experiment from ``repro.bench`` exactly once
-under pytest-benchmark (``pedantic``: the experiment itself already
+Each bench target runs one experiment exactly once under
+pytest-benchmark (``pedantic``: the experiment itself already
 aggregates seeds the way the paper aggregated runs), prints the
 paper-style table, and asserts the DESIGN.md shape checks.
+
+The targets are thin wrappers over the declarative pipeline: they name
+a ``configs/*.toml`` experiment id and :func:`run_config` measures it
+through :func:`repro.pipeline.runner.run_experiment` — the same series
+expansion and shape checks ``python -m repro report`` uses, so the
+bench log and the HTML reports can never disagree.  (The legacy
+:func:`run_experiment` helper still accepts a bare callable for ad-hoc
+experiments that have no config.)
 
 Set ``REPRO_BENCH_QUICK=1`` to shrink the sweep grids (smoke mode).
 """
@@ -24,12 +32,12 @@ REPORTS_DIR = pathlib.Path(__file__).resolve().parent / "reports"
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
-def run_experiment(benchmark, experiment, quick: bool | None = None):
-    """Run one experiment under the benchmark fixture and verify it."""
-    effective_quick = QUICK if quick is None else quick
-    result = benchmark.pedantic(
-        experiment, args=(effective_quick,), rounds=1, iterations=1
-    )
+#: Loaded once per session; every bench target shares the validated set.
+_CONFIGS = None
+
+
+def _finish(result, effective_quick: bool):
+    """Print/persist the report and assert every shape check."""
     report = result.report()
     print()
     print(report)
@@ -40,3 +48,32 @@ def run_experiment(benchmark, experiment, quick: bool | None = None):
     failed = [str(c) for c in result.checks if not c.passed]
     assert not failed, "shape checks failed:\n" + "\n".join(failed)
     return result
+
+
+def run_experiment(benchmark, experiment, quick: bool | None = None):
+    """Run one experiment callable under the benchmark fixture."""
+    effective_quick = QUICK if quick is None else quick
+    result = benchmark.pedantic(
+        experiment, args=(effective_quick,), rounds=1, iterations=1
+    )
+    return _finish(result, effective_quick)
+
+
+def run_config(benchmark, experiment_id: str, quick: bool | None = None):
+    """Run one ``configs/*.toml`` experiment under the benchmark fixture."""
+    from repro.pipeline import load_config_dir
+    from repro.pipeline.runner import run_experiment as run_pipeline
+
+    global _CONFIGS
+    if _CONFIGS is None:
+        _CONFIGS = load_config_dir()
+    config = _CONFIGS[experiment_id]
+    effective_quick = QUICK if quick is None else quick
+    result = benchmark.pedantic(
+        run_pipeline,
+        args=(config,),
+        kwargs={"quick": effective_quick},
+        rounds=1,
+        iterations=1,
+    )
+    return _finish(result, effective_quick)

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import ablations
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_ablation_combining(benchmark):
     """Zeroing the combine cost rescues Br_Lin on the T3D (§5.3)."""
-    run_experiment(benchmark, ablations.ablation_combining)
+    run_config(benchmark, "ablation-combining")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import ablations
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_ablation_contention(benchmark):
     """Congestion of the §2 uncoordinated flood needs link contention."""
-    run_experiment(benchmark, ablations.ablation_contention)
+    run_config(benchmark, "ablation-contention")

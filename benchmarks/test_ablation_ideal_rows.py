@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import ablations
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_ablation_ideal_rows(benchmark):
     """Searched row positions beat naive even spacing (the R(20) case)."""
-    run_experiment(benchmark, ablations.ablation_ideal_rows)
+    run_config(benchmark, "ablation-ideal-rows")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import ablations
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_ablation_mapping(benchmark):
     """Random placement removes Br_Lin's topology advantage."""
-    run_experiment(benchmark, ablations.ablation_mapping)
+    run_config(benchmark, "ablation-mapping")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import ablations
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_ablation_switching(benchmark):
     """Store-and-forward makes distance expensive; 2-Step pays most."""
-    run_experiment(benchmark, ablations.ablation_switching)
+    run_config(benchmark, "ablation-switching")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import extensions
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_extension_auto(benchmark):
     """The model-driven pick beats any single fixed algorithm in total."""
-    run_experiment(benchmark, extensions.extension_auto_portfolio)
+    run_config(benchmark, "extension-auto")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import extensions
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_extension_hypercube(benchmark):
     """Br_Lin dominates on its native topology; 2-Step's hot spot stays."""
-    run_experiment(benchmark, extensions.extension_hypercube)
+    run_config(benchmark, "extension-hypercube")

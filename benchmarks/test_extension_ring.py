@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import extensions
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_extension_ring(benchmark):
     """The ring wins only in the bandwidth-bound regime."""
-    run_experiment(benchmark, extensions.extension_ring_crossover)
+    run_config(benchmark, "extension-ring")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig01(benchmark):
     """Figure 1: the three §4 placements rendered and checked."""
-    run_experiment(benchmark, figures.fig01)
+    run_config(benchmark, "fig1")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig02(benchmark):
     """Figure 2: measured vs analytic algorithm/distribution parameters."""
-    run_experiment(benchmark, figures.fig02)
+    run_config(benchmark, "fig2")

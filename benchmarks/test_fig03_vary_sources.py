@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig03(benchmark):
     """Figure 3: Paragon, all algorithms, source count sweep."""
-    run_experiment(benchmark, figures.fig03)
+    run_config(benchmark, "fig3")

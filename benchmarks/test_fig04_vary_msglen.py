@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig04(benchmark):
     """Figure 4: Paragon, all algorithms, message size sweep."""
-    run_experiment(benchmark, figures.fig04)
+    run_config(benchmark, "fig4")

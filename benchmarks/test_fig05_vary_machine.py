@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig05(benchmark):
     """Figure 5: Paragon, machine size sweep."""
-    run_experiment(benchmark, figures.fig05)
+    run_config(benchmark, "fig5")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig06(benchmark):
     """Figure 6: Paragon, Br_* across the eight distributions."""
-    run_experiment(benchmark, figures.fig06)
+    run_config(benchmark, "fig6")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig07(benchmark):
     """Figure 7: Paragon, fixed total spread over more sources."""
-    run_experiment(benchmark, figures.fig07)
+    run_config(benchmark, "fig7")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig08(benchmark):
     """Figure 8: 120-node Paragon, dimension sweep."""
-    run_experiment(benchmark, figures.fig08)
+    run_config(benchmark, "fig8")

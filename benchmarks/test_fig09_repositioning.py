@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig09(benchmark):
     """Figure 9: repositioning gain vs source count."""
-    run_experiment(benchmark, figures.fig09)
+    run_config(benchmark, "fig9")

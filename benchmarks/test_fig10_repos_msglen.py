@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig10(benchmark):
     """Figure 10: repositioning gain vs message length."""
-    run_experiment(benchmark, figures.fig10)
+    run_config(benchmark, "fig10")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig11(benchmark):
     """Figure 11: T3D MPI_AllGather scalability."""
-    run_experiment(benchmark, figures.fig11)
+    run_config(benchmark, "fig11")

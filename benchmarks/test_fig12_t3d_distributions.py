@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig12(benchmark):
     """Figure 12: T3D fixed-total source sweep."""
-    run_experiment(benchmark, figures.fig12)
+    run_config(benchmark, "fig12")

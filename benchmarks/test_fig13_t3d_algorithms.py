@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_fig13(benchmark):
     """Figure 13: T3D algorithm ordering inversion."""
-    run_experiment(benchmark, figures.fig13)
+    run_config(benchmark, "fig13")

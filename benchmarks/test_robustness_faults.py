@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import robustness
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_robustness_faults(benchmark):
     """Link failure detours cheaply; degraded links slow but deliver."""
-    run_experiment(benchmark, robustness.robustness_faults)
+    run_config(benchmark, "robustness")

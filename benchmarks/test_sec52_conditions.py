@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_sec52_conditions(benchmark):
     """Repositioning a near-ideal input costs only a small overhead."""
-    run_experiment(benchmark, figures.sec52_conditions)
+    run_config(benchmark, "sec52-conditions")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_sec52_partitioning(benchmark):
     """The final pairwise exchange dominates the partitioning approach."""
-    run_experiment(benchmark, figures.sec52_partitioning)
+    run_config(benchmark, "sec52-partitioning")

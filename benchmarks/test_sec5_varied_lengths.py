@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.bench import figures
-
-from benchmarks.conftest import run_experiment
+from benchmarks.conftest import run_config
 
 
 def test_sec5_varied_lengths(benchmark):
     """A good distribution remains good when message lengths vary."""
-    run_experiment(benchmark, figures.sec5_varied_lengths)
+    run_config(benchmark, "sec5-varied-lengths")

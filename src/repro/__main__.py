@@ -17,7 +17,10 @@ Subcommands: ``python -m repro sweep`` evaluates whole grids — serial,
 pooled, or sharded across worker processes (``--shards`` / ``--worker``,
 see :mod:`repro.sweep.cli`); ``python -m repro chaos`` runs the fault
 harness (``--orchestrator`` points it at the sweep coordinator itself);
-``python -m repro trace`` exports Chrome traces.
+``python -m repro trace`` exports Chrome traces; ``python -m repro
+report`` reproduces the paper from ``configs/*.toml`` into
+self-contained HTML reports and regenerates EXPERIMENTS.md/RESULTS.txt
+(see :mod:`repro.pipeline.cli`).
 """
 
 from __future__ import annotations
@@ -84,6 +87,10 @@ def main(argv: List[str] | None = None) -> int:
         from repro.sweep.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.pipeline.cli import main as report_main
+
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run one s-to-p broadcast on a simulated MPP.",

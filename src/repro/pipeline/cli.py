@@ -1,0 +1,232 @@
+"""Command-line entry point: ``python -m repro report``.
+
+Examples::
+
+    python -m repro report list           # show config-driven experiments
+    python -m repro report all            # run everything, emit HTML reports
+    python -m repro report fig3 fig13     # two experiments (full grids)
+    python -m repro report all --quick    # smoke grids, same pages
+    python -m repro report all --shards 4 # pre-warm the cache via run_sharded
+    python -m repro report docs           # regenerate EXPERIMENTS.md/RESULTS.txt
+    python -m repro report docs --check   # CI: fail if committed docs drift
+
+Every experiment is described by one ``configs/*.toml`` file; the
+runner expands it into the exact measurement calls the original
+``repro.bench`` figure functions make, so the tables, the sweep-cache
+keys, and the shape-check verdicts are bit-identical to
+``python -m repro.bench`` (the differential tests pin this).  With a
+warm cache, ``report all`` re-renders the whole paper in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+from typing import List, Optional, Tuple
+
+from repro.bench.cli import build_executor
+from repro.bench.runner import use_executor
+from repro.bench.types import FigureResult
+from repro.errors import ReproError
+from repro.pipeline.docsgen import render_experiments_md, render_results_txt
+from repro.pipeline.loader import DEFAULT_CONFIG_DIR, load_config_dir
+from repro.pipeline.report import render_experiment_html, render_index_html
+from repro.pipeline.runner import experiment_points, run_experiment
+from repro.sweep import DEFAULT_CACHE_DIR
+
+__all__ = ["main"]
+
+
+def _prewarm(configs, shards: int, cache_dir: str, quick: bool) -> None:
+    """Fan every declarative grid point over ``run_sharded`` workers.
+
+    Measurement afterwards is pure cache hits, so a multi-minute full
+    run parallelizes across worker processes (or across machines — see
+    ``python -m repro sweep --worker``) without touching the
+    serial-measurement code path that defines the tables.
+    """
+    from repro.sweep import ResultCache
+    from repro.sweep.distributed import run_sharded
+
+    points = []
+    seen = set()
+    for config in configs:
+        if config.kind != "declarative":
+            continue
+        for point in experiment_points(config, quick=quick):
+            key = point.key()
+            if key not in seen:
+                seen.add(key)
+                points.append(point)
+    if points:
+        run_sharded(points, shards=shards, cache=ResultCache(cache_dir))
+    print(f"pre-warmed {len(points)} grid point(s) across {shards} shard(s)")
+
+
+def _run_all(
+    configs, args
+) -> List[Tuple[object, FigureResult]]:
+    """Measure every config (through the executor the flags describe)."""
+    executor = build_executor(
+        args.jobs, args.cache_dir, args.no_cache, engine=args.engine
+    )
+    entries = []
+    with use_executor(executor):
+        for config in configs:
+            entries.append((config, run_experiment(config, quick=args.quick)))
+            print(f"ran {config.id} ({len(entries)}/{len(configs)})")
+    return entries
+
+
+def _write_reports(entries, out_dir: pathlib.Path, quick: bool) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for config, result in entries:
+        page = render_experiment_html(config, result, quick=quick)
+        (out_dir / f"{config.id}.html").write_text(page, encoding="utf-8")
+    index = render_index_html(entries, quick=quick)
+    (out_dir / "index.html").write_text(index, encoding="utf-8")
+    print(f"wrote {len(entries)} report page(s) + index to {out_dir}/")
+
+
+def _docs(configs, args, root: pathlib.Path) -> int:
+    """Regenerate (or ``--check``) EXPERIMENTS.md and RESULTS.txt."""
+    targets = [(root / "EXPERIMENTS.md", render_experiments_md(configs))]
+    if not args.skip_results:
+        if args.quick:
+            print(
+                "error: RESULTS.txt is a full-grid artifact; "
+                "drop --quick (or pass --skip-results)",
+                file=sys.stderr,
+            )
+            return 2
+        entries = _run_all(configs, args)
+        results = [result for _, result in entries]
+        targets.append((root / "RESULTS.txt", render_results_txt(results)))
+    failures = 0
+    for path, text in targets:
+        if args.check:
+            have = path.read_text(encoding="utf-8") if path.exists() else ""
+            if have != text:
+                failures += 1
+                diff = difflib.unified_diff(
+                    have.splitlines(), text.splitlines(),
+                    fromfile=f"{path.name} (committed)",
+                    tofile=f"{path.name} (regenerated)", lineterm="", n=1,
+                )
+                print(f"{path.name}: DRIFT from regenerated content")
+                for line in list(diff)[:40]:
+                    print(f"  {line}")
+            else:
+                print(f"{path.name}: matches regenerated content")
+        else:
+            path.write_text(text, encoding="utf-8")
+            print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run config-driven experiments and emit reports; exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Reproduce the paper from configs/ into HTML + docs.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment ids, or: list | all | docs",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink sweep grids for a fast smoke run",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: $REPRO_SWEEP_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help="sweep result cache location (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the sweep result cache (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--engine", choices=("auto", "event", "fast"), default="auto",
+        help="simulation engine for computed points (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="pre-warm the cache by sharding all grid points over N workers",
+    )
+    parser.add_argument(
+        "--out", default="reports/html",
+        help="directory for the HTML pages (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--configs", default=None, metavar="DIR",
+        help=f"experiment config directory (default: {DEFAULT_CONFIG_DIR})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="docs target: compare regenerated docs against committed files",
+    )
+    parser.add_argument(
+        "--skip-results", action="store_true",
+        help="docs target: only regenerate EXPERIMENTS.md (no experiment runs)",
+    )
+    args = parser.parse_args(argv)
+
+    config_dir = pathlib.Path(args.configs) if args.configs else DEFAULT_CONFIG_DIR
+    try:
+        by_id = load_config_dir(config_dir)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    configs = list(by_id.values())
+
+    names = args.experiments
+    if names == ["list"] or not names:
+        print("config-driven experiments:")
+        for config in configs:
+            print(f"  {config.id:24s} {config.title}: {config.description}")
+        print("meta-targets: all, docs")
+        return 0
+    if names == ["docs"]:
+        return _docs(configs, args, config_dir.parent)
+
+    if names == ["all"]:
+        selected = configs
+    else:
+        unknown = [n for n in names if n not in by_id]
+        if unknown:
+            print(
+                f"unknown experiment(s): {', '.join(unknown)}\n"
+                f"known: {', '.join(by_id)}",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [by_id[n] for n in names]
+
+    if args.shards:
+        if args.no_cache:
+            print("error: --shards needs the cache (drop --no-cache)",
+                  file=sys.stderr)
+            return 2
+        _prewarm(selected, args.shards, args.cache_dir, args.quick)
+
+    try:
+        entries = _run_all(selected, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _write_reports(entries, pathlib.Path(args.out), args.quick)
+    failed = [c.id for c, r in entries if not r.all_passed]
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all shape checks passed ({len(entries)} experiment(s))")
+    return 0

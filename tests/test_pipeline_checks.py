@@ -1,0 +1,143 @@
+"""The restricted check-expression language and its evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.types import Series
+from repro.errors import ConfigurationError
+from repro.pipeline.checks import compile_expr, evaluate_check
+from repro.pipeline.schema import CheckSpec
+
+SERIES = [
+    Series(
+        title="demo",
+        x_label="s",
+        x_values=[4, 8, 16],
+        curves={"Br_Lin": [1.0, 2.0, 4.0], "2-Step": [3.0, 6.0, 12.0]},
+    ),
+    Series(
+        title="second",
+        x_label="L",
+        x_values=[256],
+        curves={"Br_Lin": [9.0]},
+    ),
+]
+
+
+class TestCompileExpr:
+    def test_rejects_attribute_access(self):
+        with pytest.raises(ConfigurationError) as err:
+            compile_expr("().__class__", context="cfg.expr")
+        assert "cfg.expr" in str(err.value)
+
+    def test_rejects_lambda(self):
+        with pytest.raises(ConfigurationError):
+            compile_expr("(lambda: 1)()")
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError) as err:
+            compile_expr("open('x')")
+        assert "open" in str(err.value)
+
+    def test_rejects_syntax_error_with_context(self):
+        with pytest.raises(ConfigurationError) as err:
+            compile_expr("1 +", context="cfg.expr")
+        assert "cfg.expr" in str(err.value)
+
+    def test_rejects_statements(self):
+        with pytest.raises(ConfigurationError):
+            compile_expr("import os")
+
+    def test_allows_comprehensions_and_fstrings(self):
+        compile_expr("all(y > 0 for y in curve('Br_Lin'))")
+        compile_expr("[y * 2 for y in curve('Br_Lin')]")
+        compile_expr("f\"{min(xs)}..{max(xs)}\"")
+
+
+class TestEvaluateCheck:
+    def test_expr_pass(self):
+        check = evaluate_check(
+            CheckSpec(
+                type="expr",
+                description="2-Step always above Br_Lin",
+                expr="all(a < b for a, b in zip(curve('Br_Lin'), curve('2-Step')))",
+            ),
+            SERIES,
+        )
+        assert check.passed
+        assert check.description == "2-Step always above Br_Lin"
+
+    def test_expr_fail(self):
+        check = evaluate_check(
+            CheckSpec(type="expr", description="x", expr="at('Br_Lin', 4) > 10"),
+            SERIES,
+        )
+        assert not check.passed
+
+    def test_detail_expression_renders(self):
+        check = evaluate_check(
+            CheckSpec(
+                type="expr",
+                description="x",
+                expr="True",
+                detail="f\"{at('Br_Lin', 16) / at('Br_Lin', 4):.1f}x\"",
+            ),
+            SERIES,
+        )
+        assert check.detail == "4.0x"
+
+    def test_cross_series_helpers(self):
+        check = evaluate_check(
+            CheckSpec(
+                type="expr",
+                description="x",
+                series=1,
+                expr="v(0, 'Br_Lin', 4) < at('Br_Lin', 256)",
+            ),
+            SERIES,
+        )
+        assert check.passed
+
+    def test_ratio_range(self):
+        spec = CheckSpec(
+            type="ratio_range",
+            description="doubling s doubles time",
+            curve="Br_Lin",
+            x_num=16,
+            x_den=4,
+            lo=3.5,
+            hi=4.5,
+        )
+        assert evaluate_check(spec, SERIES).passed
+        tight = CheckSpec(
+            type="ratio_range",
+            description="x",
+            curve="Br_Lin",
+            x_num=16,
+            x_den=4,
+            lo=1.0,
+            hi=2.0,
+        )
+        assert not evaluate_check(tight, SERIES).passed
+
+    def test_series_index_out_of_range(self):
+        with pytest.raises(ConfigurationError) as err:
+            evaluate_check(
+                CheckSpec(type="expr", description="x", series=5, expr="True"),
+                SERIES,
+                context="cfg [checks#0]",
+            )
+        assert "cfg [checks#0]" in str(err.value)
+
+    def test_genexpr_resolves_whitelisted_names(self):
+        """Free names inside comprehensions resolve (globals scoping)."""
+        check = evaluate_check(
+            CheckSpec(
+                type="expr",
+                description="x",
+                expr="min(min(curve(n)) for n in ['Br_Lin', '2-Step']) > 0",
+            ),
+            SERIES,
+        )
+        assert check.passed

@@ -1,0 +1,54 @@
+"""Config-driven experiments are bit-identical to the figure functions.
+
+The contract behind ``python -m repro report``: a declarative config
+expands into the *same* measurement calls its hand-written
+``repro.bench.figures`` counterpart makes, so the rendered report text
+— every table cell, every check verdict, every detail string — is
+equal character for character.  One representative config per series
+kind keeps this inside the tier-1 time budget; the full 13-figure
+differential rides in the bench suite (``benchmarks/``), which runs
+the same pipeline path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import ALL_FIGURES
+from repro.pipeline.loader import load_config_dir
+from repro.pipeline.runner import run_experiment
+
+#: One config per declarative series kind (and the fixed-total variant).
+REPRESENTATIVES = {
+    "fig6": "cells (distribution axis)",
+    "fig7": "sweep with total_bytes",
+    "fig8": "machines_by_s",
+    "fig9": "percent_gain",
+    "fig11": "dist_curves",
+}
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return load_config_dir()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(REPRESENTATIVES))
+def test_config_matches_figure_function(configs, experiment_id):
+    config = configs[experiment_id]
+    declarative = run_experiment(config, quick=True)
+    handwritten = ALL_FIGURES[experiment_id](True)
+    assert declarative.report() == handwritten.report()
+
+
+def test_every_figure_has_a_config(configs):
+    """No bench figure is missing from configs/ (and vice versa)."""
+    config_ids = set(configs)
+    assert set(ALL_FIGURES) <= config_ids
+
+
+def test_builder_config_dispatches_to_the_figure_function(configs):
+    """Builder-kind configs run the original callable unchanged."""
+    result = run_experiment(configs["fig1"], quick=True)
+    assert result.report() == ALL_FIGURES["fig1"](True).report()
+    assert len(result.checks) == configs["fig1"].num_checks

@@ -1,0 +1,243 @@
+"""Config loading: strictness, error naming, and round-trip stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.loader import (
+    DEFAULT_CONFIG_DIR,
+    load_config,
+    load_config_dir,
+    load_config_text,
+)
+
+MINIMAL = """
+[experiment]
+id = "demo"
+title = "Demo"
+description = "a two-point sweep"
+kind = "declarative"
+
+[[series]]
+kind = "sweep"
+title = "demo sweep"
+x_label = "s"
+machine = "paragon:4x4"
+distribution = "E"
+algorithms = ["Br_Lin"]
+s_values = {{ full = [4, 8], quick = [4] }}
+message_size = 256
+{extra}
+"""
+
+
+def _minimal(extra: str = "") -> str:
+    return MINIMAL.format(extra=extra)
+
+
+class TestErrorNaming:
+    """Rejections at load time name the offending file and key."""
+
+    def test_unknown_experiment_key_names_key_and_file(self):
+        text = _minimal().replace(
+            'kind = "declarative"', 'kind = "declarative"\nfrobnicate = 1'
+        )
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text, path="configs/xx-demo.toml")
+        assert "'frobnicate'" in str(err.value)
+        assert "configs/xx-demo.toml" in str(err.value)
+
+    def test_missing_required_key_is_named(self):
+        text = _minimal().replace('x_label = "s"\n', "")
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text)
+        assert "'x_label'" in str(err.value)
+
+    def test_unknown_series_kind_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(_minimal().replace('kind = "sweep"', 'kind = "mystery"'))
+        assert "mystery" in str(err.value)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(
+                _minimal().replace('algorithms = ["Br_Lin"]',
+                                   'algorithms = ["Br_Quantum"]')
+            )
+        assert "Br_Quantum" in str(err.value)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(
+                _minimal().replace('distribution = "E"', 'distribution = "Z"')
+            )
+        assert "'Z'" in str(err.value)
+
+    def test_malformed_machine_spec_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(
+                _minimal().replace('machine = "paragon:4x4"',
+                                   'machine = "cray:banana"')
+            )
+        assert "cray:banana" in str(err.value)
+
+    def test_unknown_assertion_type_rejected_at_load(self):
+        """The satellite case: a bad check type never reaches a sweep."""
+        text = _minimal(
+            extra="""
+[[checks]]
+type = "assert_monotone"
+description = "nope"
+"""
+        )
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text, path="configs/xx-demo.toml")
+        message = str(err.value)
+        assert "assert_monotone" in message
+        assert "configs/xx-demo.toml" in message
+
+    def test_check_expression_compiled_at_load(self):
+        """Disallowed syntax in an expr fails at load, not mid-run."""
+        text = _minimal(
+            extra="""
+[[checks]]
+type = "expr"
+description = "attribute escape"
+expr = "().__class__"
+"""
+        )
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text)
+        assert "expr" in str(err.value)
+
+    def test_check_series_index_out_of_range(self):
+        text = _minimal(
+            extra="""
+[[checks]]
+type = "expr"
+description = "wrong series"
+series = 3
+expr = "v('Br_Lin', 4) > 0"
+"""
+        )
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text)
+        assert "series" in str(err.value)
+
+    def test_builder_config_rejects_series(self):
+        text = """
+[experiment]
+id = "demo"
+title = "Demo"
+description = "builder"
+kind = "builder"
+builder = "repro.bench.figures:fig01"
+expected_checks = 3
+
+[[series]]
+kind = "sweep"
+title = "t"
+x_label = "s"
+machine = "paragon:4x4"
+distribution = "E"
+algorithms = ["Br_Lin"]
+s_values = [4]
+message_size = 256
+"""
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text)
+        assert "builder" in str(err.value)
+
+    def test_unimportable_builder_rejected(self):
+        text = """
+[experiment]
+id = "demo"
+title = "Demo"
+description = "builder"
+kind = "builder"
+builder = "repro.bench.figures:no_such_figure"
+expected_checks = 1
+"""
+        with pytest.raises(ConfigurationError) as err:
+            load_config_text(text)
+        assert "no_such_figure" in str(err.value)
+
+    def test_per_x_list_length_mismatch_rejected(self):
+        text = _minimal().replace(
+            "message_size = 256",
+            "message_size = [256, 512]",
+        )
+        with pytest.raises(ConfigurationError):
+            load_config_text(text)
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        (tmp_path / "01-a.toml").write_text(_minimal(), encoding="utf-8")
+        (tmp_path / "02-b.toml").write_text(_minimal(), encoding="utf-8")
+        with pytest.raises(ConfigurationError) as err:
+            load_config_dir(tmp_path)
+        assert "duplicate" in str(err.value)
+        assert "02-b.toml" in str(err.value)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_config_dir(tmp_path / "nope")
+
+
+class TestRoundTrip:
+    """TOML → SweepSpec expansion is bit-stable across loads."""
+
+    def test_text_round_trip_is_stable(self):
+        first = load_config_text(_minimal())
+        second = load_config_text(_minimal())
+        assert first == second
+        assert first.sweep_specs() == second.sweep_specs()
+        assert first.sweep_specs(quick=True) == second.sweep_specs(quick=True)
+
+    def test_file_round_trip_matches_committed_configs(self):
+        """Re-reading every committed config is a fixed point."""
+        for config in load_config_dir().values():
+            assert load_config(config.path) == config
+
+    def test_sweep_spec_points_are_deterministic(self):
+        config = load_config_text(_minimal())
+        spec_a = config.sweep_specs()[0]
+        spec_b = config.sweep_specs()[0]
+        keys_a = [point.key() for point in spec_a.points()]
+        keys_b = [point.key() for point in spec_b.points()]
+        assert keys_a == keys_b
+        assert len(keys_a) == spec_a.num_points
+
+    def test_quick_axis_falls_back_to_full(self):
+        config = load_config_text(_minimal())
+        assert config.sweep_specs(quick=True)[0].s_values == (4,)
+        assert config.sweep_specs(quick=False)[0].s_values == (4, 8)
+
+
+class TestCommittedConfigs:
+    """The shipped configs/ directory is complete and well-formed."""
+
+    def test_counts_match_the_experiments_summary(self):
+        configs = list(load_config_dir().values())
+        assert len(configs) == 25
+        assert sum(c.num_checks for c in configs) == 74
+
+    def test_every_config_has_doc_block(self):
+        for config in load_config_dir().values():
+            assert config.doc is not None, config.id
+            assert config.doc.verdict in ("reproduced", "partial")
+
+    def test_groups_cover_the_paper(self):
+        configs = list(load_config_dir().values())
+        by_group = {}
+        for config in configs:
+            by_group.setdefault(config.group, []).append(config.id)
+        assert len(by_group["figures"]) == 13
+        assert len(by_group["text"]) == 3
+        assert len(by_group["ablations"]) == 5
+        assert len(by_group["extensions"]) == 3
+        assert len(by_group["robustness"]) == 1
+
+    def test_default_config_dir_is_the_repo_configs(self):
+        assert DEFAULT_CONFIG_DIR.name == "configs"
+        assert (DEFAULT_CONFIG_DIR / "03-fig3.toml").is_file()

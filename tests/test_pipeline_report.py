@@ -1,0 +1,225 @@
+"""HTML report rendering, docs generation, and the report CLI."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.bench.types import Check, FigureResult, Series
+from repro.pipeline.docsgen import (
+    render_experiments_md,
+    render_results_txt,
+    summary_counts,
+)
+from repro.pipeline.loader import load_config_dir
+from repro.pipeline.report import (
+    render_experiment_html,
+    render_index_html,
+    render_series_svg,
+    representative_point,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+RESULT = FigureResult(
+    figure="Demo figure",
+    description="two curves & a <check>",
+    series=[
+        Series(
+            title="demo <series>",
+            x_label="s",
+            x_values=[4, 8, 16],
+            curves={"Br_Lin": [1.0, 2.0, 4.0], "2-Step": [3.0, 6.0, 12.0]},
+        )
+    ],
+    checks=[
+        Check("ordering holds", True, "1.0 < 3.0"),
+        Check("a failing one", False),
+    ],
+    notes=["a note\nwith art"],
+)
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return load_config_dir()
+
+
+class TestSeriesSvg:
+    def test_curves_and_markers(self):
+        svg = render_series_svg(RESULT.series[0])
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6
+        assert svg.count("<title>") == 6  # native tooltips, no JS
+
+    def test_too_many_curves_falls_back_to_table(self):
+        wide = Series(
+            title="wide",
+            x_label="x",
+            x_values=[1, 2],
+            curves={f"c{i}": [1.0, 2.0] for i in range(9)},
+        )
+        assert render_series_svg(wide) is None
+
+    def test_log_scale_for_wide_positive_axes(self):
+        sizes = Series(
+            title="sizes",
+            x_label="L",
+            x_values=[32, 1024, 16384],
+            curves={"a": [1.0, 2.0, 3.0]},
+        )
+        assert "(log scale)" in render_series_svg(sizes)
+
+    def test_categorical_axis(self):
+        cats = Series(
+            title="dists",
+            x_label="distribution",
+            x_values=["R", "C", "Sq"],
+            curves={"a": [1.0, 2.0, 3.0]},
+        )
+        svg = render_series_svg(cats)
+        assert "Sq" in svg
+
+
+class TestExperimentHtml:
+    def test_page_is_self_contained(self, tmp_path):
+        page = render_experiment_html(None, RESULT)
+        assert "<script" not in page
+        path = tmp_path / "demo.html"
+        path.write_text(page, encoding="utf-8")
+        checker = _load_tool("check_report_html")
+        assert checker.audit_file(path) == []
+
+    def test_escapes_markup_in_data(self):
+        page = render_experiment_html(None, RESULT)
+        assert "&lt;check&gt;" in page
+        assert "&lt;series&gt;" in page
+
+    def test_badges_reflect_check_outcomes(self):
+        page = render_experiment_html(None, RESULT)
+        assert "checks 1/2" in page
+        assert "✓ PASS" in page and "✗ FAIL" in page
+
+    def test_notes_and_tables_are_preserved(self):
+        page = render_experiment_html(None, RESULT)
+        assert "with art" in page
+        assert RESULT.series[0].to_table().splitlines()[-1].strip() in page
+
+    def test_index_links_every_entry(self, tmp_path):
+        page = render_index_html([(None, RESULT)])
+        assert 'href="Demo figure.html"' in page
+        path = tmp_path / "index.html"
+        path.write_text(page, encoding="utf-8")
+        checker = _load_tool("check_report_html")
+        assert checker.audit_file(path) == []
+
+
+class TestRepresentativePoint:
+    def test_sweep_config(self, configs):
+        point = representative_point(configs["fig3"])
+        assert point["machine"] == "paragon:10x10"
+        assert point["dist"] == "E"
+        assert point["L"] == 4096
+        assert point["algorithm"] in configs["fig3"].series[0].algorithms
+
+    def test_fixed_total_config_derives_size(self, configs):
+        point = representative_point(configs["fig7"])
+        assert point["L"] * point["s"] <= 81920
+
+    def test_builder_config_has_no_point(self, configs):
+        assert representative_point(configs["fig1"]) is None
+
+    def test_every_declarative_config_resolves(self, configs):
+        for config in configs.values():
+            if config.kind != "declarative":
+                continue
+            point = representative_point(config)
+            if point is None:
+                # Legitimate only for placement-driven series, which the
+                # trace CLI cannot address (it names distributions).
+                assert all(
+                    series.placement is not None for series in config.series
+                ), config.id
+                continue
+            assert point["s"] >= 1 and point["L"] >= 1
+
+
+class TestDocsGen:
+    def test_summary_counts(self, configs):
+        counts = summary_counts(list(configs.values()))
+        assert counts["experiments"] == 25
+        assert counts["checks"] == 74
+        assert counts["partial"] == 3
+
+    def test_experiments_md_structure(self, configs):
+        text = render_experiments_md(list(configs.values()))
+        assert text.startswith("# EXPERIMENTS")
+        assert "do not hand-edit" in text
+        assert "**25/25 experiments pass all 74 automated shape checks**" in text
+        for config in configs.values():
+            assert config.doc.section in text, config.id
+        assert text.count("## Figure ") == 13
+        assert "### Fault-spec grammar" in text
+
+    def test_experiments_md_matches_committed_file(self, configs):
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert committed == render_experiments_md(list(configs.values()))
+
+    def test_results_txt_rendering(self):
+        text = render_results_txt([RESULT])
+        assert text.startswith("=== Demo figure: two curves & a <check> ===")
+        assert "shape checks FAILED for: Demo figure" in text
+        passing = FigureResult("F", "d", checks=[Check("c", True)])
+        text = render_results_txt([passing, passing])
+        assert text.rstrip().endswith("all shape checks passed (2 experiment(s))")
+        assert "(ran in" not in text
+
+    def test_check_experiments_tool_passes_on_committed_docs(self):
+        checker = _load_tool("check_experiments")
+        assert checker.main([str(REPO_ROOT)]) == 0
+
+
+class TestReportCli:
+    def test_list_target(self, capsys):
+        from repro.pipeline.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "robustness" in out
+
+    def test_unknown_id_is_a_usage_error(self, capsys):
+        from repro.pipeline.cli import main
+
+        assert main(["fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_quick_run_emits_self_contained_pages(self, tmp_path, capsys):
+        from repro.pipeline.cli import main
+
+        out_dir = tmp_path / "html"
+        code = main(["fig1", "--quick", "--no-cache", "--out", str(out_dir)])
+        assert code == 0
+        pages = sorted(p.name for p in out_dir.glob("*.html"))
+        assert pages == ["fig1.html", "index.html"]
+        checker = _load_tool("check_report_html")
+        for page in out_dir.glob("*.html"):
+            assert checker.audit_file(page) == []
+
+    def test_docs_check_skip_results_matches_committed(self, capsys):
+        from repro.pipeline.cli import main
+
+        assert main(["docs", "--check", "--skip-results"]) == 0
+        assert "matches regenerated" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI gate: generated HTML reports are self-contained.
+
+A report page must render identically with the network cable unplugged:
+no ``<script>`` elements at all (the pages are static by design —
+tooltips are native SVG ``<title>`` elements), and no external URL in
+any resource-loading attribute (``src``/``href`` of ``link``, ``img``,
+``iframe``, ``audio``, ``video``, ``source``, ``object``, ``embed``) or
+in a CSS ``url(...)``.  Plain ``<a href>`` hyperlinks to other pages
+are fine — following one is navigation, not rendering.
+
+Run:  python tools/check_report_html.py <file-or-dir> [...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from html.parser import HTMLParser
+
+#: Tags whose src/href fetches a resource at render time.
+RESOURCE_TAGS = (
+    "link", "img", "iframe", "audio", "video", "source", "object", "embed",
+)
+
+EXTERNAL_RE = re.compile(r"^\s*(?:https?:)?//", re.IGNORECASE)
+CSS_URL_RE = re.compile(r"url\(\s*['\"]?((?:https?:)?//[^'\")]+)", re.I)
+
+
+class _Auditor(HTMLParser):
+    """Collects self-containment violations while parsing one page."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.problems: list = []
+        self._in_style = False
+
+    def handle_starttag(self, tag, attrs):
+        if tag == "script":
+            self.problems.append("<script> element present")
+            return
+        if tag == "style":
+            self._in_style = True
+        attributes = dict(attrs)
+        if tag in RESOURCE_TAGS:
+            for name in ("src", "href", "data"):
+                value = attributes.get(name) or ""
+                if EXTERNAL_RE.match(value):
+                    self.problems.append(
+                        f"<{tag} {name}={value!r}> loads an external resource"
+                    )
+        style = attributes.get("style") or ""
+        for url in CSS_URL_RE.findall(style):
+            self.problems.append(f"inline style loads external url({url})")
+
+    def handle_endtag(self, tag):
+        if tag == "style":
+            self._in_style = False
+
+    def handle_data(self, data):
+        if self._in_style:
+            for url in CSS_URL_RE.findall(data):
+                self.problems.append(f"<style> loads external url({url})")
+
+
+def audit_file(path: pathlib.Path) -> list:
+    """Self-containment violations in one HTML file (empty = clean)."""
+    auditor = _Auditor()
+    auditor.feed(path.read_text(encoding="utf-8"))
+    auditor.close()
+    return auditor.problems
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: check_report_html.py <file-or-dir> [...]",
+              file=sys.stderr)
+        return 2
+    files: list = []
+    for arg in argv:
+        path = pathlib.Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.html")))
+        else:
+            files.append(path)
+    if not files:
+        print("error: no HTML files to check", file=sys.stderr)
+        return 2
+    failed = False
+    for path in files:
+        problems = audit_file(path)
+        for problem in problems:
+            print(f"FAIL {path}: {problem}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print(f"{len(files)} HTML file(s) are self-contained")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
